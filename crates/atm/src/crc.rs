@@ -1,0 +1,156 @@
+//! CRC-32 (AAL5) and CRC-10 (ATM OAM) — table-driven, incremental.
+//!
+//! AAL5 protects each PDU with the IEEE 802.3 CRC-32 (polynomial
+//! 0x04C11DB8, reflected 0xEDB88320). The reproduction computes real CRCs
+//! over real payload bytes so that cell corruption, cell misordering under
+//! an in-order-only reassembler, and stale-cache reads (§2.3) are all
+//! *detected the way the paper relies on*: by the error check, not by
+//! simulator fiat.
+
+/// Reflected CRC-32 polynomial (IEEE 802.3 / AAL5).
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+/// CRC-10 polynomial x^10 + x^9 + x^5 + x^4 + x + 1 (ITU I.610), MSB-first.
+const CRC10_POLY: u16 = 0x633;
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, e) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ CRC32_POLY } else { c >> 1 };
+            }
+            *e = c;
+        }
+        t
+    })
+}
+
+/// Incremental CRC-32 state. AAL5-style: initial value all-ones, final
+/// complement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// A fresh accumulator.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorbs bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = crc32_table();
+        let mut c = self.state;
+        for &b in data {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Final CRC value.
+    pub fn finish(self) -> u32 {
+        !self.state
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+/// One-shot CRC-10 of a byte slice (bit-serial MSB-first; used for the
+/// cell-header-style integrity check in tests and fault injection).
+pub fn crc10(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &b in data {
+        for bit in (0..8).rev() {
+            let inbit = ((b >> bit) & 1) as u16;
+            let topbit = (crc >> 9) & 1;
+            crc = (crc << 1) & 0x3FF;
+            if topbit ^ inbit != 0 {
+                crc ^= CRC10_POLY & 0x3FF;
+            }
+        }
+    }
+    crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn crc32_incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let mut inc = Crc32::new();
+        for chunk in data.chunks(44) {
+            inc.update(chunk);
+        }
+        assert_eq!(inc.finish(), crc32(&data));
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flip() {
+        let mut data = vec![0u8; 1024];
+        data[500] = 0x55;
+        let good = crc32(&data);
+        for bit in 0..8 {
+            let mut bad = data.clone();
+            bad[123] ^= 1 << bit;
+            assert_ne!(crc32(&bad), good, "bit {bit} flip undetected");
+        }
+    }
+
+    #[test]
+    fn crc32_detects_cell_swap() {
+        // Two swapped 44-byte cells — the §2.6 misordering failure an
+        // in-order reassembler must catch via CRC.
+        let data: Vec<u8> = (0..88u8).collect();
+        let mut swapped = data.clone();
+        swapped.rotate_left(44);
+        assert_ne!(crc32(&data), crc32(&swapped));
+    }
+
+    #[test]
+    fn crc10_range_and_determinism() {
+        let c = crc10(b"OSIRIS");
+        assert!(c < 1024);
+        assert_eq!(c, crc10(b"OSIRIS"));
+        assert_ne!(crc10(b"OSIRIS"), crc10(b"OSIRIX"));
+    }
+
+    #[test]
+    fn crc10_self_check_property() {
+        // Appending the CRC (as 2 bytes, 10 significant bits left-aligned
+        // in a 16-bit field) then re-checking yields 0 for MSB-first CRCs
+        // when the message is extended by exactly 10 zero bits. We verify
+        // the weaker but sufficient property: distinct small messages give
+        // distinct CRCs often enough to catch corruption.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..200u32 {
+            seen.insert(crc10(&i.to_be_bytes()));
+        }
+        assert!(seen.len() > 150, "CRC-10 collides too much: {}", seen.len());
+    }
+}

@@ -1,0 +1,276 @@
+//! Cell-level striping over four lanes, with skew and fault injection.
+//!
+//! §2.6: four 155 Mbps channels are "grouped together and treated as a
+//! single logical channel, with data striped at the cell level". Cell `i`
+//! of a PDU travels on lane `i mod 4`. Striping introduces *skew* — a
+//! bounded class of misordering in which each lane stays FIFO but lanes
+//! shift relative to each other — from three sources:
+//!
+//! 1. different physical path lengths (eliminated in AURORA by wavelength
+//!    multiplexing onto one fibre → our `lane_offsets` default to zero),
+//! 2. delays in multiplexing equipment (→ fixed per-lane `lane_offsets`),
+//! 3. queueing in switch ports (→ random per-cell `queue_jitter`).
+//!
+//! The striper also injects cell loss and corruption for the fault-
+//! handling tests (CRC detection, lazy cache invalidation recovery).
+
+use osiris_sim::{SimDuration, SimRng, SimTime};
+
+use crate::cell::Cell;
+use crate::link::{LinkLane, LinkSpec};
+
+/// Skew and fault configuration for a striped link.
+#[derive(Debug, Clone)]
+pub struct SkewConfig {
+    /// Fixed extra delay per lane (multiplexing equipment).
+    pub lane_offsets: Vec<SimDuration>,
+    /// Maximum random per-cell queueing delay (switch ports); uniform in
+    /// `[0, max]`.
+    pub queue_jitter_max: SimDuration,
+    /// Probability a cell is silently dropped.
+    pub drop_prob: f64,
+    /// Probability one payload bit of a cell is flipped.
+    pub corrupt_prob: f64,
+    /// RNG seed for jitter and faults.
+    pub seed: u64,
+}
+
+impl SkewConfig {
+    /// Perfectly aligned lanes: no skew, no faults (back-to-back boards on
+    /// one fibre — the paper's measurement setup).
+    pub fn none() -> Self {
+        SkewConfig {
+            lane_offsets: vec![SimDuration::ZERO; 4],
+            queue_jitter_max: SimDuration::ZERO,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            seed: 1,
+        }
+    }
+
+    /// Mux-equipment skew: lanes shifted by a few cell times each — the
+    /// surprise the authors "were not within our power to eliminate".
+    pub fn mux_skew(seed: u64) -> Self {
+        SkewConfig {
+            lane_offsets: vec![
+                SimDuration::ZERO,
+                SimDuration::from_us(3),
+                SimDuration::from_us(6),
+                SimDuration::from_us(9),
+            ],
+            queue_jitter_max: SimDuration::ZERO,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            seed,
+        }
+    }
+
+    /// Switch-queueing skew: random per-cell delays up to several cell
+    /// times (essentially unbounded in the paper's analysis).
+    pub fn switch_queueing(seed: u64, max_jitter: SimDuration) -> Self {
+        SkewConfig {
+            lane_offsets: vec![SimDuration::ZERO; 4],
+            queue_jitter_max: max_jitter,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            seed,
+        }
+    }
+
+    /// Whether any skew source is active.
+    pub fn has_skew(&self) -> bool {
+        !self.queue_jitter_max.is_zero()
+            || self.lane_offsets.iter().any(|o| !o.is_zero())
+    }
+}
+
+/// The 4 × 155 Mbps striped channel between two boards.
+#[derive(Debug)]
+pub struct StripedLink {
+    lanes: Vec<LinkLane>,
+    rng: SimRng,
+    queue_jitter_max: SimDuration,
+    drop_prob: f64,
+    corrupt_prob: f64,
+    cells_dropped: u64,
+    cells_corrupted: u64,
+}
+
+impl StripedLink {
+    /// A striped link with `skew.lane_offsets.len()` lanes of `spec` each.
+    pub fn new(spec: LinkSpec, skew: SkewConfig) -> Self {
+        assert!(!skew.lane_offsets.is_empty(), "need at least one lane");
+        let lanes =
+            skew.lane_offsets.iter().map(|&off| LinkLane::new(spec, off)).collect::<Vec<_>>();
+        StripedLink {
+            lanes,
+            rng: SimRng::new(skew.seed),
+            queue_jitter_max: skew.queue_jitter_max,
+            drop_prob: skew.drop_prob,
+            corrupt_prob: skew.corrupt_prob,
+            cells_dropped: 0,
+            cells_corrupted: 0,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Aggregate wire rate in bits per second.
+    pub fn aggregate_rate_bps(&self) -> u64 {
+        self.lanes.iter().map(|l| l.spec().rate_bps).sum()
+    }
+
+    /// Sends cell `index_in_pdu` of a PDU at `now`, possibly corrupting it
+    /// in place. Returns `(lane, arrival_time)`, or `None` if the cell was
+    /// dropped.
+    pub fn send_cell(
+        &mut self,
+        now: SimTime,
+        index_in_pdu: u32,
+        cell: &mut Cell,
+    ) -> Option<(usize, SimTime)> {
+        if self.drop_prob > 0.0 && self.rng.gen_bool(self.drop_prob) {
+            self.cells_dropped += 1;
+            return None;
+        }
+        if self.corrupt_prob > 0.0 && self.rng.gen_bool(self.corrupt_prob) {
+            let byte = self.rng.gen_range(44) as usize;
+            let bit = self.rng.gen_range(8) as u8;
+            cell.corrupt_bit(byte, bit);
+            self.cells_corrupted += 1;
+        }
+        let lane = (index_in_pdu as usize) % self.lanes.len();
+        let jitter = if self.queue_jitter_max.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_ps(self.rng.gen_range(self.queue_jitter_max.as_ps() + 1))
+        };
+        let arrival = self.lanes[lane].send(now, jitter);
+        Some((lane, arrival))
+    }
+
+    /// Cells dropped by fault injection.
+    pub fn cells_dropped(&self) -> u64 {
+        self.cells_dropped
+    }
+
+    /// Cells corrupted by fault injection.
+    pub fn cells_corrupted(&self) -> u64 {
+        self.cells_corrupted
+    }
+
+    /// Total cells carried (all lanes).
+    pub fn cells_sent(&self) -> u64 {
+        self.lanes.iter().map(|l| l.cells_sent()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vci::Vci;
+
+    fn mk_cell(i: u16) -> Cell {
+        Cell::data(Vci(1), i, &[i as u8; 44])
+    }
+
+    #[test]
+    fn round_robin_lane_assignment() {
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        for i in 0..8u32 {
+            let mut c = mk_cell(i as u16);
+            let (lane, _) = link.send_cell(SimTime::ZERO, i, &mut c).unwrap();
+            assert_eq!(lane, (i % 4) as usize);
+        }
+        assert_eq!(link.cells_sent(), 8);
+    }
+
+    #[test]
+    fn aggregate_rate_is_622() {
+        let link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        assert_eq!(link.aggregate_rate_bps(), 4 * 155_520_000);
+    }
+
+    #[test]
+    fn no_skew_preserves_global_order() {
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        let mut arrivals = Vec::new();
+        for i in 0..16u32 {
+            let mut c = mk_cell(i as u16);
+            arrivals.push(link.send_cell(SimTime::ZERO, i, &mut c).unwrap().1);
+        }
+        let mut sorted = arrivals.clone();
+        sorted.sort();
+        assert_eq!(arrivals, sorted, "aligned lanes must not reorder");
+    }
+
+    #[test]
+    fn mux_skew_reorders_across_lanes_only() {
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::mux_skew(7));
+        let mut by_lane: Vec<Vec<SimTime>> = vec![vec![]; 4];
+        let mut all: Vec<(u32, SimTime)> = Vec::new();
+        for i in 0..32u32 {
+            let mut c = mk_cell(i as u16);
+            let (lane, t) = link.send_cell(SimTime::ZERO, i, &mut c).unwrap();
+            by_lane[lane].push(t);
+            all.push((i, t));
+        }
+        // Per-lane FIFO must hold.
+        for lane in &by_lane {
+            assert!(lane.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Global order must be violated (cell 1 on the +3us lane arrives
+        // after cell 4 on the +0us lane, etc.).
+        let globally_ordered =
+            all.windows(2).all(|w| w[0].1 <= w[1].1);
+        assert!(!globally_ordered, "mux skew should reorder across lanes");
+    }
+
+    #[test]
+    fn switch_queueing_jitter_is_deterministic_per_seed() {
+        let cfg = SkewConfig::switch_queueing(9, SimDuration::from_us(20));
+        let mut a = StripedLink::new(LinkSpec::sts3c_back_to_back(), cfg.clone());
+        let mut b = StripedLink::new(LinkSpec::sts3c_back_to_back(), cfg);
+        for i in 0..64u32 {
+            let mut ca = mk_cell(i as u16);
+            let mut cb = mk_cell(i as u16);
+            assert_eq!(
+                a.send_cell(SimTime::ZERO, i, &mut ca),
+                b.send_cell(SimTime::ZERO, i, &mut cb)
+            );
+        }
+    }
+
+    #[test]
+    fn drop_injection_counts() {
+        let mut cfg = SkewConfig::none();
+        cfg.drop_prob = 1.0;
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), cfg);
+        let mut c = mk_cell(0);
+        assert!(link.send_cell(SimTime::ZERO, 0, &mut c).is_none());
+        assert_eq!(link.cells_dropped(), 1);
+        assert_eq!(link.cells_sent(), 0);
+    }
+
+    #[test]
+    fn corruption_flips_payload() {
+        let mut cfg = SkewConfig::none();
+        cfg.corrupt_prob = 1.0;
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), cfg);
+        let mut c = mk_cell(3);
+        let before = c.payload;
+        link.send_cell(SimTime::ZERO, 0, &mut c).unwrap();
+        assert_ne!(c.payload, before);
+        assert_eq!(link.cells_corrupted(), 1);
+    }
+
+    #[test]
+    fn has_skew_classifier() {
+        assert!(!SkewConfig::none().has_skew());
+        assert!(SkewConfig::mux_skew(1).has_skew());
+        assert!(SkewConfig::switch_queueing(1, SimDuration::from_us(5)).has_skew());
+    }
+}

@@ -1,0 +1,243 @@
+//! An output-queued ATM switch.
+//!
+//! §2.6's third skew source: "different queuing delays experienced by
+//! cells on different links as they pass through distinct ports on the
+//! switches in the network". In AURORA the four striped lanes traverse
+//! distinct switch ports, so independent cross traffic on each port
+//! delays each lane independently — per-lane FIFO order is preserved
+//! (output queues are FIFOs) but the stripe as a whole skews, and the
+//! skew is "essentially unbounded" because it depends on everyone else's
+//! traffic.
+//!
+//! The paper notes the fix the authors declined: "the switch must
+//! coordinate the different ports to keep all queue lengths equal.
+//! However, adding this complexity has the undesirable effect of negating
+//! the advantage of striping". [`SwitchSpec::coordinated`] models that
+//! rejected design for the ablation benches: it equalises queue delay
+//! across a port group, eliminating skew at the cost of making every
+//! lane as slow as the busiest.
+
+use std::collections::HashMap;
+
+use osiris_sim::{FifoResource, SimDuration, SimTime};
+
+use crate::cell::{Cell, CELL_BYTES_ON_WIRE};
+use crate::vci::Vci;
+
+/// Switch geometry and timing.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchSpec {
+    /// Number of output ports.
+    pub ports: usize,
+    /// Line rate of each output port (bps).
+    pub port_rate_bps: u64,
+    /// Fixed fabric transit latency.
+    pub fabric_latency: SimDuration,
+    /// If true, port groups are coordinated to equal queueing delay
+    /// (the rejected anti-skew design).
+    pub coordinated: bool,
+}
+
+impl SwitchSpec {
+    /// A 16-port STS-3c switch, uncoordinated (the real thing).
+    pub fn sts3c_16port() -> Self {
+        SwitchSpec {
+            ports: 16,
+            port_rate_bps: 155_520_000,
+            fabric_latency: SimDuration::from_us(2),
+            coordinated: false,
+        }
+    }
+
+    /// The same switch with coordinated port groups.
+    pub fn coordinated() -> Self {
+        SwitchSpec { coordinated: true, ..Self::sts3c_16port() }
+    }
+
+    /// Serialisation time of one cell on an output port.
+    pub fn cell_time(&self) -> SimDuration {
+        let bits = CELL_BYTES_ON_WIRE as u128 * 8;
+        SimDuration::from_ps((bits * 1_000_000_000_000u128 / self.port_rate_bps as u128) as u64)
+    }
+}
+
+/// Per-port statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PortStats {
+    /// Cells forwarded through this port.
+    pub cells: u64,
+    /// Accumulated queueing delay (excludes serialisation and fabric).
+    pub queueing: SimDuration,
+}
+
+/// The switch.
+#[derive(Debug)]
+pub struct Switch {
+    spec: SwitchSpec,
+    routes: HashMap<Vci, usize>,
+    outputs: Vec<FifoResource>,
+    stats: Vec<PortStats>,
+    /// Port group used by the coordinated mode (all members share fate).
+    group: Vec<usize>,
+    unrouted: u64,
+}
+
+impl Switch {
+    /// A switch with no routes installed.
+    pub fn new(spec: SwitchSpec) -> Self {
+        Switch {
+            outputs: (0..spec.ports).map(|_| FifoResource::new("switch-port")).collect(),
+            stats: vec![PortStats::default(); spec.ports],
+            routes: HashMap::new(),
+            group: Vec::new(),
+            unrouted: 0,
+            spec,
+        }
+    }
+
+    /// Installs `vci → port`.
+    ///
+    /// # Panics
+    /// Panics if `port` is out of range.
+    pub fn route(&mut self, vci: Vci, port: usize) {
+        assert!(port < self.spec.ports, "port {port} out of range");
+        self.routes.insert(vci, port);
+    }
+
+    /// Declares a striped port group (used by coordinated mode).
+    pub fn set_group(&mut self, ports: Vec<usize>) {
+        for &p in &ports {
+            assert!(p < self.spec.ports);
+        }
+        self.group = ports;
+    }
+
+    /// Forwards a cell arriving at `now`. Returns the output port and the
+    /// departure time (after queueing + serialisation + fabric), or
+    /// `None` if the VCI has no route (the cell is dropped).
+    pub fn forward(&mut self, now: SimTime, cell: &Cell) -> Option<(usize, SimTime)> {
+        let Some(&port) = self.routes.get(&cell.header.vci) else {
+            self.unrouted += 1;
+            return None;
+        };
+        let at = now + self.spec.fabric_latency;
+        let grant = self.outputs[port].acquire(at, self.spec.cell_time());
+        self.stats[port].cells += 1;
+        self.stats[port].queueing += grant.queueing_delay(at);
+        let mut departure = grant.finish;
+        if self.spec.coordinated && self.group.contains(&port) {
+            // The rejected design: hold the cell until the slowest group
+            // member's queue would also have drained, equalising delay.
+            let worst = self
+                .group
+                .iter()
+                .map(|&p| self.outputs[p].free_at())
+                .max()
+                .unwrap_or(departure);
+            departure = departure.max(worst);
+        }
+        Some((port, departure))
+    }
+
+    /// Occupies an output port with cross traffic for `cells` cell times
+    /// starting at `now` (other flows sharing the port).
+    pub fn background_load(&mut self, now: SimTime, port: usize, cells: u64) {
+        let d = SimDuration::from_ps(self.spec.cell_time().as_ps() * cells);
+        self.outputs[port].acquire(now, d);
+    }
+
+    /// Per-port statistics.
+    pub fn port_stats(&self, port: usize) -> PortStats {
+        self.stats[port]
+    }
+
+    /// Cells dropped for lack of a route.
+    pub fn unrouted(&self) -> u64 {
+        self.unrouted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(vci: u16, seq: u16) -> Cell {
+        Cell::data(Vci(vci), seq, &[seq as u8; 44])
+    }
+
+    #[test]
+    fn routes_by_vci() {
+        let mut sw = Switch::new(SwitchSpec::sts3c_16port());
+        sw.route(Vci(1), 3);
+        sw.route(Vci(2), 7);
+        let (p1, _) = sw.forward(SimTime::ZERO, &cell(1, 0)).unwrap();
+        let (p2, _) = sw.forward(SimTime::ZERO, &cell(2, 0)).unwrap();
+        assert_eq!((p1, p2), (3, 7));
+        assert!(sw.forward(SimTime::ZERO, &cell(9, 0)).is_none());
+        assert_eq!(sw.unrouted(), 1);
+    }
+
+    #[test]
+    fn output_port_is_fifo_and_serialises() {
+        let mut sw = Switch::new(SwitchSpec::sts3c_16port());
+        sw.route(Vci(1), 0);
+        let a = sw.forward(SimTime::ZERO, &cell(1, 0)).unwrap().1;
+        let b = sw.forward(SimTime::ZERO, &cell(1, 1)).unwrap().1;
+        assert!(b > a);
+        assert_eq!(b.since(a), sw.spec.cell_time());
+    }
+
+    #[test]
+    fn cross_traffic_creates_queueing_skew() {
+        // Four lanes on four ports; cross traffic loads port 2 only.
+        let mut sw = Switch::new(SwitchSpec::sts3c_16port());
+        for lane in 0..4u16 {
+            sw.route(Vci(10 + lane), lane as usize);
+        }
+        sw.background_load(SimTime::ZERO, 2, 20); // ~55 us of foreign cells
+        let mut departures = Vec::new();
+        for lane in 0..4u16 {
+            departures.push(sw.forward(SimTime::ZERO, &cell(10 + lane, 0)).unwrap().1);
+        }
+        // Lane 2's cell departs far later than its peers: skew.
+        assert!(departures[2] > departures[0] + SimDuration::from_us(30));
+        assert!(sw.port_stats(2).queueing > SimDuration::from_us(30));
+        assert_eq!(sw.port_stats(0).queueing, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn coordinated_mode_equalises_but_slows_everyone() {
+        let mut sw = Switch::new(SwitchSpec::coordinated());
+        for lane in 0..4u16 {
+            sw.route(Vci(10 + lane), lane as usize);
+        }
+        sw.set_group(vec![0, 1, 2, 3]);
+        sw.background_load(SimTime::ZERO, 2, 20);
+        let mut departures = Vec::new();
+        for lane in 0..4u16 {
+            departures.push(sw.forward(SimTime::ZERO, &cell(10 + lane, 0)).unwrap().1);
+        }
+        // No skew between lanes...
+        let min = departures.iter().min().unwrap();
+        let max = departures.iter().max().unwrap();
+        assert!(max.since(*min) < SimDuration::from_us(5), "coordination must remove skew");
+        // ...but every lane is as slow as the loaded one — "negating the
+        // advantage of striping".
+        assert!(*min > SimTime::from_us(50));
+    }
+
+    #[test]
+    fn per_lane_order_survives_any_load_pattern() {
+        let mut sw = Switch::new(SwitchSpec::sts3c_16port());
+        sw.route(Vci(5), 1);
+        sw.background_load(SimTime::from_us(10), 1, 7);
+        let mut last = SimTime::ZERO;
+        for seq in 0..50u16 {
+            let t = SimTime::from_us(seq as u64 * 2);
+            let (_, dep) = sw.forward(t, &cell(5, seq)).unwrap();
+            assert!(dep >= last, "output queue must be FIFO");
+            last = dep;
+        }
+        assert_eq!(sw.port_stats(1).cells, 50);
+    }
+}

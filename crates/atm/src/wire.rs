@@ -1,0 +1,205 @@
+//! Cell wire format: 53-byte images with a real HEC.
+//!
+//! The simulation mostly moves [`Cell`] structs, but interoperability and
+//! fault-injection realism want actual octets: a 5-byte ATM header
+//! protected by the standard HEC (CRC-8, polynomial x⁸+x²+x+1, XORed with
+//! 0x55 per I.432), a 4-byte AAL header (sequence number, framing bits,
+//! fill), and the 44-byte payload. Trailers of EOM cells are carried in a
+//! 9-byte extension record (see DESIGN.md: trailers are out-of-band in
+//! the model so the 44-data-bytes-per-cell arithmetic stays exact).
+//!
+//! `encode`/`decode` round-trip every cell, and `decode` rejects any
+//! header corruption via the HEC — the property the fault-injection
+//! tests lean on.
+
+use crate::cell::{AalHeader, Cell, CellHeader, Trailer, CELL_PAYLOAD};
+use crate::vci::Vci;
+
+/// Bytes in an encoded cell without a trailer extension.
+pub const WIRE_BASE: usize = 5 + 4 + CELL_PAYLOAD;
+/// Extra bytes when a trailer extension is present.
+pub const WIRE_TRAILER: usize = 9;
+
+/// CRC-8 with polynomial x⁸ + x² + x + 1 (0x07), as used by the ATM HEC.
+pub fn hec(bytes: &[u8]) -> u8 {
+    let mut crc: u8 = 0;
+    for &b in bytes {
+        crc ^= b;
+        for _ in 0..8 {
+            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+        }
+    }
+    // I.432 recommends XORing the HEC with 0x55 for better delineation.
+    crc ^ 0x55
+}
+
+/// Wire-format decode errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than a base cell.
+    Truncated,
+    /// The header checksum did not match.
+    BadHec,
+    /// The fill field was 0 or exceeded 44.
+    BadFill,
+    /// An EOM cell without its trailer extension (or length mismatch).
+    MissingTrailer,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            WireError::Truncated => "truncated cell",
+            WireError::BadHec => "header checksum mismatch",
+            WireError::BadFill => "invalid fill",
+            WireError::MissingTrailer => "missing trailer extension",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a cell to its wire image.
+pub fn encode(cell: &Cell) -> Vec<u8> {
+    let has_trailer = cell.trailer.is_some();
+    let mut out = Vec::with_capacity(WIRE_BASE + if has_trailer { WIRE_TRAILER } else { 0 });
+    // ── ATM header (5 bytes): flags, VCI, spare, HEC ──
+    let mut flags = 0u8;
+    if cell.header.last_cell {
+        flags |= 0b01;
+    }
+    if has_trailer {
+        flags |= 0b10;
+    }
+    out.push(flags);
+    out.extend_from_slice(&cell.header.vci.0.to_be_bytes());
+    out.push(0); // spare (GFC/PT/CLP territory in real ATM)
+    out.push(hec(&out[0..4]));
+    // ── AAL header (4 bytes): seq, eom|fill ──
+    out.extend_from_slice(&cell.aal.seq.to_be_bytes());
+    out.push(if cell.aal.eom { 1 } else { 0 });
+    out.push(cell.aal.fill);
+    // ── payload ──
+    out.extend_from_slice(&cell.payload);
+    // ── trailer extension ──
+    if let Some(t) = cell.trailer {
+        out.push(0xA1); // trailer-extension marker
+        out.extend_from_slice(&t.len.to_be_bytes());
+        out.extend_from_slice(&t.crc.to_be_bytes());
+    }
+    out
+}
+
+/// Decodes a wire image back into a cell, verifying the HEC.
+pub fn decode(bytes: &[u8]) -> Result<Cell, WireError> {
+    if bytes.len() < WIRE_BASE {
+        return Err(WireError::Truncated);
+    }
+    if hec(&bytes[0..4]) != bytes[4] {
+        return Err(WireError::BadHec);
+    }
+    let flags = bytes[0];
+    let last_cell = flags & 0b01 != 0;
+    let has_trailer = flags & 0b10 != 0;
+    let vci = Vci(u16::from_be_bytes([bytes[1], bytes[2]]));
+    let seq = u16::from_be_bytes([bytes[5], bytes[6]]);
+    let eom = bytes[7] != 0;
+    let fill = bytes[8];
+    if fill == 0 || fill as usize > CELL_PAYLOAD {
+        return Err(WireError::BadFill);
+    }
+    let mut payload = [0u8; CELL_PAYLOAD];
+    payload.copy_from_slice(&bytes[9..9 + CELL_PAYLOAD]);
+    let trailer = if has_trailer {
+        if bytes.len() < WIRE_BASE + WIRE_TRAILER {
+            return Err(WireError::MissingTrailer);
+        }
+        let t = &bytes[WIRE_BASE..];
+        Some(Trailer {
+            len: u32::from_be_bytes([t[1], t[2], t[3], t[4]]),
+            crc: u32::from_be_bytes([t[5], t[6], t[7], t[8]]),
+        })
+    } else {
+        None
+    };
+    Ok(Cell {
+        header: CellHeader { vci, last_cell },
+        aal: AalHeader { seq, eom, fill },
+        payload,
+        trailer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(with_trailer: bool) -> Cell {
+        let mut c = Cell::data(Vci(0x1234), 77, &[0xAB; 30]);
+        c.header.last_cell = true;
+        if with_trailer {
+            c.aal.eom = true;
+            c.trailer = Some(Trailer { len: 1234, crc: 0xDEADBEEF });
+        }
+        c
+    }
+
+    #[test]
+    fn roundtrip_plain_and_trailer() {
+        for t in [false, true] {
+            let c = sample(t);
+            let bytes = encode(&c);
+            assert_eq!(bytes.len(), WIRE_BASE + if t { WIRE_TRAILER } else { 0 });
+            assert_eq!(decode(&bytes).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn hec_catches_every_header_bit_flip() {
+        let bytes = encode(&sample(false));
+        for bit in 0..(5 * 8) {
+            let mut bad = bytes.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(decode(&bad).unwrap_err(), WireError::BadHec, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_not_hecs_job() {
+        // The HEC protects the header only; payload errors are the AAL
+        // CRC-32's job (checked at reassembly).
+        let c = sample(false);
+        let mut bytes = encode(&c);
+        bytes[20] ^= 0xFF;
+        let decoded = decode(&bytes).unwrap();
+        assert_ne!(decoded.payload, c.payload);
+    }
+
+    #[test]
+    fn truncation_and_bad_fill_rejected() {
+        let bytes = encode(&sample(false));
+        assert_eq!(decode(&bytes[..10]).unwrap_err(), WireError::Truncated);
+        let mut bad = bytes.clone();
+        bad[8] = 0;
+        assert_eq!(decode(&bad).unwrap_err(), WireError::BadFill);
+        let mut bad = bytes;
+        bad[8] = 45;
+        assert_eq!(decode(&bad).unwrap_err(), WireError::BadFill);
+    }
+
+    #[test]
+    fn missing_trailer_detected() {
+        let bytes = encode(&sample(true));
+        assert_eq!(decode(&bytes[..WIRE_BASE]).unwrap_err(), WireError::MissingTrailer);
+    }
+
+    #[test]
+    fn hec_distributes() {
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..256u16 {
+            seen.insert(hec(&v.to_be_bytes()));
+        }
+        assert!(seen.len() > 200, "HEC should spread: {}", seen.len());
+    }
+}

@@ -1,0 +1,214 @@
+//! Criterion microbenches for the hot data structures and algorithms of
+//! the reproduction: the things a production driver would care about.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use osiris::atm::sar::{FramingMode, ReassemblyMode, Reassembler, SegmentUnit, Segmenter};
+use osiris::atm::{crc32, Vci};
+use osiris::board::descriptor::{DescRing, Descriptor};
+use osiris::board::dma::{plan_dma, DmaMode};
+use osiris::board::spsc::SpscRing;
+use osiris::host::machine::internet_checksum;
+use osiris::mem::{CacheSpec, DataCache, PhysAddr, PhysMemory};
+use osiris::proto::msg::Message;
+use osiris::mem::VirtAddr;
+
+fn bench_crc32(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32");
+    for size in [44usize, 4096, 65536] {
+        let data = vec![0xA5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| crc32(std::hint::black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("internet_checksum");
+    for size in [44usize, 16384] {
+        let data = vec![0x5Au8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
+            b.iter(|| internet_checksum(std::hint::black_box(d)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_desc_ring(c: &mut Criterion) {
+    let d = Descriptor::tx(PhysAddr(0x1000), 4096, Vci(1), true);
+    c.bench_function("desc_ring_push_pop", |b| {
+        let mut ring = DescRing::new(64);
+        b.iter(|| {
+            ring.push(std::hint::black_box(d)).unwrap();
+            std::hint::black_box(ring.pop())
+        })
+    });
+}
+
+fn bench_spsc(c: &mut Criterion) {
+    c.bench_function("spsc_push_pop", |b| {
+        let ring = SpscRing::new(64);
+        b.iter(|| {
+            ring.push(std::hint::black_box(7u64)).unwrap();
+            std::hint::black_box(ring.pop())
+        })
+    });
+}
+
+fn bench_segmentation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("segment_16KB");
+    let data = vec![0x3Cu8; 16 * 1024];
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for framing in [FramingMode::EndOfPdu, FramingMode::FourWay { lanes: 4 }] {
+        let seg = Segmenter { framing, unit: SegmentUnit::Pdu };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{framing:?}")),
+            &data,
+            |b, d| b.iter(|| seg.segment(Vci(1), &[std::hint::black_box(d)])),
+        );
+    }
+    g.finish();
+}
+
+fn bench_reassembly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reassemble_16KB");
+    let data = vec![0x3Cu8; 16 * 1024];
+    for (name, framing, mode) in [
+        ("in_order", FramingMode::EndOfPdu, ReassemblyMode::InOrder),
+        ("four_way", FramingMode::FourWay { lanes: 4 }, ReassemblyMode::FourWay { lanes: 4 }),
+    ] {
+        let cells = Segmenter { framing, unit: SegmentUnit::Pdu }.segment(Vci(1), &[&data]);
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cells, |b, cells| {
+            b.iter(|| {
+                let mut r = Reassembler::new(mode, 1 << 20, true);
+                let mut out = None;
+                for (i, cell) in cells.iter().enumerate() {
+                    let lane = match mode {
+                        ReassemblyMode::FourWay { lanes } => i % lanes as usize,
+                        _ => 0,
+                    };
+                    out = r.receive(lane, cell).unwrap().completed.or(out);
+                }
+                std::hint::black_box(out)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dma_planning(c: &mut Criterion) {
+    c.bench_function("plan_dma_double_cell_page_edge", |b| {
+        b.iter(|| {
+            plan_dma(
+                DmaMode::DoubleCell,
+                std::hint::black_box(PhysAddr(4096 - 20)),
+                88,
+                4096,
+            )
+        })
+    });
+}
+
+fn bench_cache_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache_read_16KB");
+    g.throughput(Throughput::Bytes(16 * 1024));
+    g.bench_function("warm", |b| {
+        let mut cache = DataCache::new(CacheSpec::dec_3000_600());
+        let mem = PhysMemory::new(1 << 20, 4096);
+        let mut buf = vec![0u8; 16 * 1024];
+        cache.read(&mem, PhysAddr(0), &mut buf); // warm it
+        b.iter(|| {
+            std::hint::black_box(cache.read(&mem, PhysAddr(0), &mut buf));
+        })
+    });
+    g.finish();
+}
+
+fn bench_message_tool(c: &mut Criterion) {
+    c.bench_function("msg_push_pop_split", |b| {
+        b.iter(|| {
+            let mut m = Message::single(VirtAddr(0x1000), 16 * 1024);
+            m.push_header(VirtAddr(0x9000), 24);
+            let front = m.split_off_front(4096);
+            let mut whole = front;
+            whole.join(m);
+            std::hint::black_box(whole.pop_header(24))
+        })
+    });
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    use osiris::atm::wire::{decode, encode};
+    let mut cell = osiris::atm::Cell::data(Vci(9), 3, &[0x5A; 44]);
+    cell.header.last_cell = true;
+    c.bench_function("cell_wire_roundtrip", |b| {
+        b.iter(|| {
+            let bytes = encode(std::hint::black_box(&cell));
+            std::hint::black_box(decode(&bytes).unwrap())
+        })
+    });
+}
+
+fn bench_switch_forward(c: &mut Criterion) {
+    use osiris::atm::switch::{Switch, SwitchSpec};
+    use osiris::sim::SimTime;
+    c.bench_function("switch_forward", |b| {
+        let mut sw = Switch::new(SwitchSpec::sts3c_16port());
+        sw.route(Vci(1), 3);
+        let cell = osiris::atm::Cell::data(Vci(1), 0, &[1; 44]);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 2727;
+            std::hint::black_box(sw.forward(SimTime::from_ns(t), &cell))
+        })
+    });
+}
+
+fn bench_sgmap(c: &mut Criterion) {
+    use osiris::mem::SgMap;
+    use osiris::mem::PhysBuffer;
+    c.bench_function("sgmap_map_translate_invalidate", |b| {
+        let mut m = SgMap::new(64, 4096);
+        b.iter(|| {
+            let bus = m.map_buffer(PhysBuffer::new(PhysAddr(7 * 4096), 16 * 1024)).unwrap();
+            std::hint::black_box(m.translate(bus).unwrap());
+            m.invalidate_all();
+        })
+    });
+}
+
+fn bench_traffic_source(c: &mut Criterion) {
+    use osiris::atm::traffic::{TrafficModel, TrafficSource};
+    use osiris::sim::SimTime;
+    c.bench_function("onoff_arrivals", |b| {
+        let mut s = TrafficSource::new(
+            TrafficModel::OnOff { mean_burst: 10, mean_gap: 20 },
+            155_520_000,
+            SimTime::ZERO,
+            5,
+        );
+        b.iter(|| std::hint::black_box(s.next_arrival()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_crc32,
+    bench_checksum,
+    bench_desc_ring,
+    bench_spsc,
+    bench_segmentation,
+    bench_reassembly,
+    bench_dma_planning,
+    bench_cache_model,
+    bench_message_tool,
+    bench_wire_codec,
+    bench_switch_forward,
+    bench_sgmap,
+    bench_traffic_source,
+);
+criterion_main!(benches);

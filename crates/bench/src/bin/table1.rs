@@ -1,0 +1,80 @@
+//! Regenerates **Table 1: Round-Trip Latencies (µs)**.
+//!
+//! "Table 1 shows the round-trip latencies achieved between a pair of
+//! workstations connected by a pair of OSIRIS boards linked back-to-back.
+//! … IP was configured to use an MTU of 16KB, and UDP checksumming was
+//! turned off." Latency test programs construct each message
+//! (`TouchMode::WritePerMessage`; see EXPERIMENTS.md).
+//!
+//! Pass `--adc` to additionally print the §3.2/§4 claim check: ADC
+//! user-to-user latency vs kernel-to-kernel vs a plain user process.
+
+use osiris::config::{DataPath, TestbedConfig, TouchMode};
+use osiris::experiments::round_trip_latency;
+use osiris::report;
+
+const SIZES: [u64; 4] = [1, 1024, 2048, 4096];
+
+const PAPER: [(&str, [f64; 4]); 4] = [
+    ("5000/200 ATM", [353.0, 417.0, 486.0, 778.0]),
+    ("5000/200 UDP/IP", [598.0, 659.0, 725.0, 1011.0]),
+    ("3000/600 ATM", [154.0, 215.0, 283.0, 449.0]),
+    ("3000/600 UDP/IP", [316.0, 376.0, 446.0, 619.0]),
+];
+
+fn measure(mk: fn() -> TestbedConfig) -> [f64; 4] {
+    let mut out = [0.0; 4];
+    for (i, &size) in SIZES.iter().enumerate() {
+        let mut cfg = mk();
+        cfg.msg_size = size;
+        cfg.messages = 12;
+        cfg.touch = TouchMode::WritePerMessage;
+        out[i] = round_trip_latency(&cfg).mean_us();
+    }
+    out
+}
+
+fn main() {
+    let adc = std::env::args().any(|a| a == "--adc");
+    let configs: [fn() -> TestbedConfig; 4] = [
+        TestbedConfig::ds5000_200_atm,
+        TestbedConfig::ds5000_200_udp,
+        TestbedConfig::dec3000_600_atm,
+        TestbedConfig::dec3000_600_udp,
+    ];
+    let mut rows = Vec::new();
+    for ((name, paper), mk) in PAPER.iter().zip(configs) {
+        let measured = measure(mk);
+        let mut row = vec![name.to_string()];
+        for i in 0..4 {
+            row.push(format!("{:.0} ({:.0})", measured[i], paper[i]));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        report::table(
+            "Table 1: Round-trip latencies in us — measured (paper)",
+            &["machine/protocol", "1 B", "1024 B", "2048 B", "4096 B"],
+            &rows,
+        )
+    );
+
+    if adc {
+        println!("ADC check (§4): 1024 B UDP/IP round trips on the 5000/200");
+        for (label, path) in [
+            ("kernel-to-kernel", DataPath::Kernel),
+            ("user via kernel", DataPath::UserViaKernel),
+            ("user via ADC", DataPath::Adc),
+        ] {
+            let mut cfg = TestbedConfig::ds5000_200_udp();
+            cfg.msg_size = 1024;
+            cfg.messages = 12;
+            cfg.touch = TouchMode::WritePerMessage;
+            cfg.data_path = path;
+            let lat = round_trip_latency(&cfg);
+            println!("  {label:<18} {:>7.0} us", lat.mean_us());
+        }
+        println!("  (the paper: ADC results were within error margins of kernel-to-kernel)");
+    }
+}

@@ -1,0 +1,101 @@
+//! Machine-readable experiment results.
+//!
+//! Every regeneration binary accepts `--json`; instead of the paper-style
+//! text tables it then emits one [`ExperimentResult`] document on stdout,
+//! so EXPERIMENTS.md refreshes and downstream analysis (plotting,
+//! regression tracking in CI) work from the same source of truth.
+
+use serde::Serialize;
+
+/// One measured point, optionally paired with the paper's number.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Independent variable (message size in bytes, etc.).
+    pub x: u64,
+    /// Measured value.
+    pub measured: f64,
+    /// The paper's value at this point, when the paper gives one.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub paper: Option<f64>,
+}
+
+/// One named series of points.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Series label (e.g. "double-cell DMA").
+    pub name: String,
+    /// The points, in x order.
+    pub points: Vec<Point>,
+}
+
+/// A whole experiment: the unit a regeneration binary emits.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentResult {
+    /// Which paper artifact this regenerates ("table1", "fig2", …).
+    pub id: String,
+    /// Human description.
+    pub title: String,
+    /// Unit of the measured values ("us", "Mbps").
+    pub unit: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl ExperimentResult {
+    /// A new, empty result document.
+    pub fn new(id: &str, title: &str, unit: &str) -> Self {
+        ExperimentResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            unit: unit.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series from parallel x/measured (and optional paper) arrays.
+    pub fn push_series(&mut self, name: &str, xs: &[u64], measured: &[f64], paper: Option<&[f64]>) {
+        assert_eq!(xs.len(), measured.len());
+        let points = xs
+            .iter()
+            .zip(measured)
+            .enumerate()
+            .map(|(i, (&x, &m))| Point { x, measured: m, paper: paper.map(|p| p[i]) })
+            .collect();
+        self.series.push(Series { name: name.to_string(), points });
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("result serialisation")
+    }
+}
+
+/// True if the process arguments request JSON output.
+pub fn json_requested() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = ExperimentResult::new("fig2", "receive throughput", "Mbps");
+        r.push_series("single", &[1024, 2048], &[72.5, 121.5], Some(&[70.0, 120.0]));
+        r.push_series("double", &[1024, 2048], &[74.0, 127.7], None);
+        let j = r.to_json();
+        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
+        assert_eq!(v["id"], "fig2");
+        assert_eq!(v["series"][0]["points"][1]["x"], 2048);
+        assert_eq!(v["series"][0]["points"][1]["paper"], 120.0);
+        assert!(v["series"][1]["points"][0].get("paper").is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let mut r = ExperimentResult::new("x", "y", "z");
+        r.push_series("bad", &[1, 2], &[1.0], None);
+    }
+}

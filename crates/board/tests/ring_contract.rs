@@ -1,0 +1,96 @@
+//! Cross-checks between the simulated lock-free ring (with its
+//! TURBOchannel cost accounting) and the real-atomics SPSC ring: the two
+//! implementations of the §2.1.1 discipline must agree on semantics.
+
+use proptest::prelude::*;
+
+use osiris_board::descriptor::{DescRing, Descriptor, DESC_WORDS};
+use osiris_board::spsc::SpscRing;
+use osiris_mem::PhysAddr;
+
+proptest! {
+    /// The DES ring and the atomic ring accept/refuse the exact same
+    /// operation sequences and yield the same values.
+    #[test]
+    fn both_rings_agree(ops in proptest::collection::vec(any::<bool>(), 1..300),
+                        size in 2u32..32) {
+        let mut des = DescRing::new(size);
+        let spsc = SpscRing::<u32>::new(size);
+        let mut n = 0u32;
+        for push in ops {
+            if push {
+                let des_ok = des
+                    .push(Descriptor::tx(PhysAddr(n as u64), n, osiris_atm::Vci(1), false))
+                    .is_ok();
+                let spsc_ok = spsc.push(n).is_ok();
+                prop_assert_eq!(des_ok, spsc_ok, "full disagreement at {}", n);
+                n += 1;
+            } else {
+                let a = des.pop().map(|(d, _)| d.len);
+                let b = spsc.pop();
+                prop_assert_eq!(a, b, "pop disagreement");
+            }
+            prop_assert_eq!(des.len(), spsc.len());
+        }
+    }
+
+    /// Ring cost accounting is constant per operation: the §2.1 goal of
+    /// "minimizing the number of load and store operations" is a fixed,
+    /// verifiable budget (2 loads + 4 stores per producer cycle; 4 loads +
+    /// 1 store per consumer cycle).
+    #[test]
+    fn ring_costs_are_constant(count in 1u32..60) {
+        let mut ring = DescRing::new(64);
+        let mut loads = 0;
+        let mut stores = 0;
+        for i in 0..count {
+            let (_, c) = ring.producer_check();
+            loads += c.loads;
+            stores += c.stores;
+            let c = ring
+                .push(Descriptor::tx(PhysAddr(0), i, osiris_atm::Vci(1), true))
+                .unwrap();
+            loads += c.loads;
+            stores += c.stores;
+        }
+        prop_assert_eq!(loads, count as u64);
+        prop_assert_eq!(stores, count as u64 * (DESC_WORDS + 1));
+        let mut loads = 0;
+        let mut stores = 0;
+        for _ in 0..count {
+            let (_, c) = ring.consumer_check();
+            loads += c.loads;
+            stores += c.stores;
+            let (_, c) = ring.pop().unwrap();
+            loads += c.loads;
+            stores += c.stores;
+        }
+        prop_assert_eq!(loads, count as u64 * (1 + DESC_WORDS));
+        prop_assert_eq!(stores, count as u64);
+    }
+}
+
+#[test]
+fn wraparound_equivalence_long_run() {
+    // Deterministic long interleaving crossing the wrap point many times.
+    let mut des = DescRing::new(5);
+    let spsc = SpscRing::<u32>::new(5);
+    let mut next = 0u32;
+    for round in 0..1000u32 {
+        let pushes = (round % 4) + 1;
+        for _ in 0..pushes {
+            let a = des
+                .push(Descriptor::tx(PhysAddr(0), next, osiris_atm::Vci(1), false))
+                .is_ok();
+            let b = spsc.push(next).is_ok();
+            assert_eq!(a, b);
+            if a {
+                next += 1;
+            }
+        }
+        let pops = (round % 3) + 1;
+        for _ in 0..pops {
+            assert_eq!(des.pop().map(|(d, _)| d.len), spsc.pop());
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Canned experiment runners for every table and figure in §4, plus the
+//! "lessons" micro-experiments of §2 and §3. Each returns structured
+//! results; `osiris-bench` renders them in the paper's format.
+
+use osiris_atm::sar::ReassemblyMode;
+use osiris_board::dma::DmaMode;
+use osiris_host::machine::MachineSpec;
+use osiris_mem::BusSpec;
+use osiris_sim::stats::{LatencyStats, ThroughputMeter};
+use osiris_sim::{SimTime, Simulation};
+
+use crate::config::TestbedConfig;
+use crate::testbed::{Event, Testbed};
+
+/// Hard wall for runaway simulations (virtual time).
+const DEADLINE: SimTime = SimTime::from_secs(30);
+
+/// Table 1: round-trip latency between two test programs.
+pub fn round_trip_latency(cfg: &TestbedConfig) -> LatencyStats {
+    let tb = Testbed::new_pair(cfg.clone());
+    let mut sim = Simulation::new(tb);
+    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    loop {
+        if sim.model.done || sim.now() > DEADLINE {
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    assert!(sim.model.done, "latency experiment did not complete");
+    assert_eq!(sim.model.verify_failures, 0, "payload corruption");
+    sim.model.latency.clone()
+}
+
+/// The receive-side result bundle (Figures 2 and 3).
+#[derive(Debug, Clone, Copy)]
+pub struct RxThroughputReport {
+    /// Sustained delivered-data throughput.
+    pub mbps: f64,
+    /// Interrupts taken per delivered PDU (§2.1.2's figure of merit).
+    pub interrupts_per_pdu: f64,
+    /// Double-cell merges per cell (≈ 0.5 means full pairing).
+    pub merge_ratio: f64,
+    /// PDUs shed on the board for lack of buffers.
+    pub dropped_pdus: u64,
+}
+
+/// Figures 2 and 3: receive-side throughput with the receive processor
+/// generating fictitious PDUs as fast as the host absorbs them.
+pub fn receive_throughput(cfg: &TestbedConfig) -> RxThroughputReport {
+    let mut tb = Testbed::new_rx_bench(cfg.clone());
+    tb.meter = ThroughputMeter::new(cfg.warmup);
+    let mut sim = Simulation::new(tb);
+    sim.queue.push(SimTime::ZERO, Event::GenKick);
+    loop {
+        if sim.model.done || sim.now() > DEADLINE {
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    let m = &sim.model;
+    assert!(m.done, "receive bench did not complete (size {})", cfg.msg_size);
+    assert_eq!(m.verify_failures, 0, "payload corruption");
+    let node = &m.nodes[0];
+    let stats = node.rx.stats();
+    let intr = node.host.interrupts_taken();
+    let pdus = stats.pdus_delivered.max(1);
+    RxThroughputReport {
+        mbps: m.meter.mbps(),
+        interrupts_per_pdu: intr as f64 / pdus as f64,
+        merge_ratio: stats.double_cell_merges as f64 / stats.cells.max(1) as f64,
+        dropped_pdus: stats.pdus_dropped_no_buffer,
+    }
+}
+
+/// Figure 4: transmit-side throughput (host streams; cells leave the
+/// board into the link and are not received by anyone).
+pub fn transmit_throughput(cfg: &TestbedConfig) -> f64 {
+    let mut tb = Testbed::new_tx_bench(cfg.clone());
+    tb.meter = ThroughputMeter::new(cfg.warmup);
+    let mut sim = Simulation::new(tb);
+    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    sim.model.nodes_remaining_decrement();
+    loop {
+        if sim.model.done || sim.now() > DEADLINE {
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    assert!(sim.model.done, "transmit bench did not complete (size {})", cfg.msg_size);
+    sim.model.meter.mbps()
+}
+
+impl Testbed {
+    /// The seeded `AppSend` counts as the first message of a Source run.
+    pub fn nodes_remaining_decrement(&mut self) {
+        if let Some(n) = self.nodes.first_mut() {
+            n.decrement_remaining();
+        }
+    }
+}
+
+/// §2.5.1's DMA ceilings: `(transfer bytes, direction, Mbps)` rows.
+pub fn dma_ceilings() -> Vec<(u64, &'static str, f64)> {
+    let bus = BusSpec::ds5000_200();
+    vec![
+        (44, "transmit (read)", bus.dma_ceiling_mbps(44, false)),
+        (44, "receive (write)", bus.dma_ceiling_mbps(44, true)),
+        (88, "transmit (read)", bus.dma_ceiling_mbps(88, false)),
+        (88, "receive (write)", bus.dma_ceiling_mbps(88, true)),
+        (176, "receive (write)", bus.dma_ceiling_mbps(176, true)),
+    ]
+}
+
+/// §2.1.2: interrupts per PDU under the two policies, at one message size.
+pub fn interrupt_suppression(base: &TestbedConfig) -> (f64, f64) {
+    use osiris_board::interrupt::InterruptPolicy;
+    let mut per_pdu = base.clone();
+    per_pdu.interrupt_policy = InterruptPolicy::PerPdu;
+    let mut transition = base.clone();
+    transition.interrupt_policy = InterruptPolicy::OnTransition;
+    (
+        receive_throughput(&per_pdu).interrupts_per_pdu,
+        receive_throughput(&transition).interrupts_per_pdu,
+    )
+}
+
+/// §2.6: double-cell merge ratio with and without skew, quantifying
+/// "once skew is introduced, the probability that two successive cells
+/// will be received in order is greatly reduced".
+pub fn skew_vs_merging(machine: MachineSpec) -> (f64, f64) {
+    // Merging is a receive-processor behaviour; drive it through the pair
+    // testbed so cells really traverse the (possibly skewed) link.
+    let mk = |skewed: bool| -> f64 {
+        let mut cfg = TestbedConfig::ds5000_200_udp();
+        cfg.machine = machine;
+        cfg.msg_size = 16 * 1024;
+        cfg.messages = 6;
+        cfg.rx_dma = DmaMode::DoubleCell;
+        if skewed {
+            cfg.skew = osiris_atm::stripe::SkewConfig::mux_skew(17);
+            cfg.reassembly = ReassemblyMode::FourWay { lanes: 4 };
+        }
+        let tb = Testbed::new_pair(cfg);
+        let mut sim = Simulation::new(tb);
+        sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+        loop {
+            if sim.model.done || sim.now() > DEADLINE {
+                break;
+            }
+            if !sim.step() {
+                break;
+            }
+        }
+        assert!(sim.model.done, "skew experiment did not complete");
+        let stats = sim.model.nodes[1].rx.stats();
+        stats.double_cell_merges as f64 / stats.cells.max(1) as f64
+    };
+    (mk(false), mk(true))
+}
+
+/// §3.1's overload claim, measured: under receiver overload, the
+/// board sheds low-priority PDUs "before they have consumed any
+/// processing resources on the host", while high-priority traffic is
+/// delivered in full.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadReport {
+    /// High-priority PDUs offered / delivered.
+    pub hi_offered: u64,
+    /// High-priority PDUs delivered to the host.
+    pub hi_delivered: u64,
+    /// Low-priority PDUs offered.
+    pub lo_offered: u64,
+    /// Low-priority PDUs delivered.
+    pub lo_delivered: u64,
+    /// PDUs shed on the board for want of free buffers.
+    pub shed_on_board: u64,
+    /// Host receive-buffer pops attributable to shed PDUs (must be 0:
+    /// shedding costs the host nothing).
+    pub host_work_for_shed: u64,
+}
+
+/// Runs the §3.1 overload scenario: two paths with early demultiplexing
+/// onto separate queue pages; the host's drain thread serves the
+/// high-priority page eagerly and starves the low-priority one.
+pub fn priority_under_overload(machine: MachineSpec, rounds: u64) -> OverloadReport {
+    use osiris_atm::sar::{FramingMode, SegmentUnit, Segmenter};
+    use osiris_atm::Vci;
+    use osiris_board::dpram::DpramLayout;
+    use osiris_board::rx::{RxConfig, RxProcessor};
+    use osiris_host::driver::{CacheStrategy, OsirisDriver};
+    use osiris_host::machine::HostMachine;
+    use osiris_host::wiring::{WiringMode, WiringService};
+    use osiris_sim::SimDuration;
+
+    let mut host = HostMachine::boot(machine, 17);
+    let mut rx = RxProcessor::new(
+        RxConfig { buffer_bytes: 4096, ..RxConfig::paper_default() },
+        DpramLayout::paper_default(),
+    );
+    let (hi_vci, lo_vci) = (Vci(100), Vci(101));
+    let (hi_page, lo_page) = (1usize, 2usize);
+    rx.bind_vci(hi_vci, hi_page);
+    rx.bind_vci(lo_vci, lo_page);
+    let wiring = WiringService { mode: WiringMode::LowLevel };
+    let mut hi_drv = OsirisDriver::new(hi_page, 4096, CacheStrategy::Lazy, wiring);
+    let mut lo_drv = OsirisDriver::new(lo_page, 4096, CacheStrategy::Lazy, wiring);
+    hi_drv.provision_receive_buffers(SimTime::ZERO, &mut host, &mut rx, 8);
+    lo_drv.provision_receive_buffers(SimTime::ZERO, &mut host, &mut rx, 8);
+
+    // §3.1: one drain thread per path, with the path's traffic priority.
+    let mut sched = osiris_host::thread::Scheduler::new(host.spec.costs.thread_dispatch);
+    let hi_thread = sched.spawn("drain-hi", 7);
+    let lo_thread = sched.spawn("drain-lo", 1);
+
+    let seg = Segmenter { framing: FramingMode::EndOfPdu, unit: SegmentUnit::Pdu };
+    let payload = vec![0x77u8; 2000];
+    let mut t = SimTime::from_us(100);
+    let mut report = OverloadReport {
+        hi_offered: rounds,
+        hi_delivered: 0,
+        lo_offered: rounds,
+        lo_delivered: 0,
+        shed_on_board: 0,
+        host_work_for_shed: 0,
+    };
+    for _ in 0..rounds {
+        // Offer one PDU on each path.
+        for vci in [hi_vci, lo_vci] {
+            for cell in seg.segment(vci, &[&payload]) {
+                rx.receive_cell(t, 0, &cell, &mut host.mem_sys, &mut host.cache, &mut host.phys);
+            }
+        }
+        // The interrupt wakes both drain threads; the window before the
+        // next burst fits exactly one dispatch, and the scheduler picks
+        // by priority — the high-priority drain runs every time.
+        let ti = host.take_interrupt(t).finish;
+        sched.wake(hi_thread);
+        sched.wake(lo_thread);
+        let (tid, g) = sched.dispatch(ti, &mut host).expect("runnable drain thread");
+        debug_assert_eq!(tid, hi_thread, "priority must pick the high path");
+        let drained = hi_drv.drain_receive(g.finish, &mut host, &mut rx);
+        for pdu in &drained.delivered {
+            debug_assert_eq!(pdu.vci, hi_vci);
+            report.hi_delivered += 1;
+            hi_drv.recycle(pdu.ready_at, &mut host, &mut rx, &pdu.bufs);
+        }
+        sched.block(tid);
+        t = drained.finished_at.max(t) + SimDuration::from_us(50);
+    }
+    // When the overload ends, the low-priority thread finally gets the
+    // CPU and drains whatever the board still holds.
+    let (tid, g) = sched.dispatch(t, &mut host).expect("low thread still runnable");
+    debug_assert_eq!(tid, lo_thread);
+    let drained = lo_drv.drain_receive(g.finish, &mut host, &mut rx);
+    sched.block(tid);
+    report.lo_delivered = drained.delivered.len() as u64;
+    report.shed_on_board = rx.stats().pdus_dropped_no_buffer;
+    // Host work attributable to shed PDUs: the drivers only ever popped
+    // descriptors that were delivered, so anything shed cost zero pops.
+    let pops = hi_drv.stats().rx_buffers + lo_drv.stats().rx_buffers;
+    let delivered_bufs = report.hi_delivered + report.lo_delivered; // 1 buffer each
+    report.host_work_for_shed = pops.saturating_sub(delivered_bufs);
+    report
+}
+
+/// §2.2's closing argument, measured: per-message driver setup cost for a
+/// fragmented message, with physical-buffer descriptors versus a
+/// scatter/gather map. Returns `(descriptor_us, sgmap_us)` — both grow
+/// with fragmentation, which is the paper's point: "physical buffer
+/// fragmentation is a potential performance concern even when virtual
+/// DMA is available."
+pub fn virtual_dma_setup_cost(machine: MachineSpec, data_pages: u64) -> (f64, f64) {
+    use osiris_board::descriptor::DESC_WORDS;
+    use osiris_host::machine::HostMachine;
+    use osiris_mem::{PhysBuffer, SgMap};
+
+    // A §2.2 message: `data_pages` scattered data pages plus a header
+    // buffer (n + 2 physical buffers with unaligned data; we take n + 1
+    // for the aligned case to stay conservative).
+    let n_buffers = data_pages + 1;
+
+    // Path A: one descriptor per physical buffer across the TURBOchannel.
+    let mut host = HostMachine::boot(machine, 4);
+    let t0 = SimTime::from_us(5);
+    let mut t = t0;
+    for _ in 0..n_buffers {
+        let g = host.mem_sys.pio_write(t, DESC_WORDS + 1);
+        t = g.finish;
+    }
+    let descriptor_us = t.since(t0).as_us_f64();
+
+    // Path B: load one map entry per page, then a single descriptor for
+    // the now-bus-contiguous region.
+    let mut host = HostMachine::boot(machine, 4);
+    let mut map = SgMap::new(256, machine.page_size as u64);
+    let mut t = t0;
+    for p in 0..n_buffers {
+        map.map_buffer(PhysBuffer::new(osiris_mem::PhysAddr(p * 4096), 4096)).unwrap();
+        let g = host.mem_sys.pio_write(t, SgMap::PIO_WORDS_PER_ENTRY);
+        t = g.finish;
+    }
+    let g = host.mem_sys.pio_write(t, DESC_WORDS + 1);
+    let sgmap_us = g.finish.since(t0).as_us_f64();
+    (descriptor_us, sgmap_us)
+}
+
+/// Where a one-way trip spends its time, extracted from a traced single
+/// ping: `(stage name, microseconds)` in path order. This is the
+/// explanatory complement to Table 1 — the simulator can say *why* a
+/// 1-byte message costs what it costs.
+pub fn latency_budget(cfg: &TestbedConfig) -> Vec<(&'static str, f64)> {
+    let mut cfg = cfg.clone();
+    cfg.messages = 1;
+    let mut tb = Testbed::new_pair(cfg);
+    tb.trace.set_enabled(true);
+    let mut sim = Simulation::new(tb);
+    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    loop {
+        if sim.model.done || sim.now() > DEADLINE {
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    assert!(sim.model.done, "budget ping did not complete");
+    // Stage boundaries on the forward (host 0 → host 1) direction.
+    let recs: Vec<(SimTime, String)> =
+        sim.model.trace.records().map(|(t, s)| (t, s.to_string())).collect();
+    let find = |needle: &str| recs.iter().find(|(_, s)| s.contains(needle)).map(|&(t, _)| t);
+    let send = find("app[0] send").expect("send");
+    let kick = find("tx[0] kick").expect("kick");
+    let first_cell = find("rx[1] cell").expect("cell");
+    let last_cell = recs
+        .iter()
+        .filter(|(_, s)| s.contains("rx[1] cell"))
+        .map(|&(t, _)| t)
+        .max()
+        .expect("cells");
+    let intr = find("intr[1]").expect("interrupt");
+    let drain = find("drain[1]").expect("drain");
+    // The server's reply enqueues directly (no AppSend event); its first
+    // transmit kick marks the end of host 1's inbound processing.
+    let reply = find("tx[1] kick").expect("server reply");
+    vec![
+        ("app + protocol out + driver enqueue", kick.since(send).as_us_f64()),
+        ("board segmentation + DMA + first cell on wire", first_cell.since(kick).as_us_f64()),
+        ("remaining cells (DMA/link pipeline)", last_cell.since(first_cell).as_us_f64()),
+        ("interrupt assertion (reassembly tail)", intr.saturating_since(last_cell).as_us_f64()),
+        ("interrupt service + thread dispatch", drain.since(intr).as_us_f64()),
+        ("drain + protocol in + app delivery", reply.since(drain).as_us_f64()),
+    ]
+}
+
+/// §3.1: the three ways to move a received message across a protection
+/// domain boundary, as microseconds per message of `bytes` bytes:
+/// `(copy, uncached_fbuf, cached_fbuf)`. The copy path physically moves
+/// the data (reads + write-through writes on the host); the fbuf paths
+/// move only mappings, and the cached case has even those preinstalled.
+pub fn cross_domain_delivery(machine: MachineSpec, bytes: u32) -> (f64, f64, f64) {
+    use osiris_fbuf::{FbufAllocator, FbufCosts};
+    use osiris_host::machine::HostMachine;
+    use osiris_mem::PhysAddr;
+
+    // Copy: read the message through the cache, write it to the user's
+    // buffer (write-through memory traffic).
+    let mut host = HostMachine::boot(machine, 9);
+    let mut buf = vec![0u8; bytes as usize];
+    let t0 = SimTime::from_us(10);
+    let rr = host.cpu_read(t0, PhysAddr(0x10_0000), &mut buf);
+    let g = host.cpu_write(rr.grant.finish, PhysAddr(0x90_0000), &buf);
+    let copy = g.finish.since(t0).as_us_f64();
+
+    // Fbufs: transfer the buffer's mapping instead.
+    let mut host = HostMachine::boot(machine, 9);
+    let costs = FbufCosts::for_machine(&host);
+    let mut alloc = FbufAllocator::new(costs, PhysAddr(0x10_0000), bytes, 4);
+    let (mut fb, _) = alloc.alloc_for_path(1).unwrap();
+    let g1 = alloc.transfer(t0, &mut host, &mut fb, 1);
+    let uncached = g1.finish.since(g1.start).as_us_f64();
+    let g2 = alloc.transfer(g1.finish, &mut host, &mut fb, 1);
+    let cached = g2.finish.since(g2.start).as_us_f64();
+    (copy, uncached, cached)
+}
+
+/// §2.7: how fast an application can access received data, PIO vs DMA,
+/// in Mbps: `(pio, dma_then_cpu_read)`.
+pub fn pio_vs_dma(machine: MachineSpec) -> (f64, f64) {
+    use osiris_host::driver::pio_receive;
+    use osiris_host::machine::HostMachine;
+    use osiris_mem::PhysAddr;
+    let bytes = 64 * 1024u64;
+
+    let mut h = HostMachine::boot(machine, 3);
+    let t = pio_receive(SimTime::ZERO, &mut h, bytes);
+    let pio = t.since(SimTime::ZERO).mbps_for_bytes(bytes);
+
+    // DMA into memory, then the application reads it through the cache.
+    let mut h = HostMachine::boot(machine, 3);
+    let g = h.mem_sys.dma_write(SimTime::ZERO, bytes);
+    let mut buf = vec![0u8; bytes as usize];
+    let rr = h.cpu_read(g.finish, PhysAddr(0), &mut buf);
+    let dma = rr.grant.finish.since(SimTime::ZERO).mbps_for_bytes(bytes);
+    (pio, dma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_ceiling_rows_match_paper() {
+        let rows = dma_ceilings();
+        assert!((rows[0].2 - 366.7).abs() < 1.0);
+        assert!((rows[1].2 - 463.2).abs() < 1.0);
+        assert!((rows[2].2 - 502.9).abs() < 1.0);
+        assert!((rows[3].2 - 586.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn interrupt_suppression_wins_under_bursts() {
+        let mut cfg = TestbedConfig::ds5000_200_udp();
+        cfg.msg_size = 4096;
+        cfg.messages = 20;
+        cfg.warmup = 2;
+        let (per_pdu, transition) = interrupt_suppression(&cfg);
+        assert!(per_pdu >= 0.95, "per-PDU policy: {per_pdu}");
+        assert!(
+            transition < per_pdu * 0.8,
+            "transition policy must interrupt less: {transition} vs {per_pdu}"
+        );
+    }
+
+    #[test]
+    fn pio_loses_to_dma_on_both_machines() {
+        for m in [MachineSpec::ds5000_200(), MachineSpec::dec3000_600()] {
+            let (pio, dma) = pio_vs_dma(m);
+            assert!(dma > pio, "{}: dma {dma} must beat pio {pio}", m.name);
+        }
+    }
+
+    #[test]
+    fn overload_sheds_low_priority_on_the_board() {
+        let r = priority_under_overload(MachineSpec::ds5000_200(), 20);
+        assert_eq!(r.hi_delivered, r.hi_offered, "high priority must not lose a PDU");
+        assert!(
+            r.lo_delivered < r.lo_offered,
+            "overload must shed some low-priority traffic"
+        );
+        assert!(r.shed_on_board > 0);
+        assert_eq!(
+            r.lo_delivered + r.shed_on_board,
+            r.lo_offered,
+            "every low-priority PDU is either delivered or shed on the board"
+        );
+        assert_eq!(r.host_work_for_shed, 0, "shedding must cost the host nothing");
+    }
+
+    #[test]
+    fn virtual_dma_costs_scale_with_fragmentation() {
+        let (d1, s1) = virtual_dma_setup_cost(MachineSpec::ds5000_200(), 1);
+        let (d4, s4) = virtual_dma_setup_cost(MachineSpec::ds5000_200(), 4);
+        // Both paths grow with page count — the paper's closing §2.2 point.
+        assert!(d4 > d1);
+        assert!(s4 > s1);
+        // The map loads are smaller than full descriptors per fragment.
+        assert!(s4 < d4, "sgmap {s4} vs descriptors {d4}");
+        assert!(s4 > d4 / 4.0, "but not free");
+    }
+
+    #[test]
+    fn latency_budget_sums_to_one_way_time() {
+        let mut cfg = TestbedConfig::ds5000_200_udp();
+        cfg.msg_size = 1024;
+        let budget = latency_budget(&cfg);
+        assert_eq!(budget.len(), 6);
+        let total: f64 = budget.iter().map(|&(_, us)| us).sum();
+        // One way of a ~740 us RTT: the stages must cover most of it.
+        assert!((250.0..500.0).contains(&total), "budget total {total}");
+        // The interrupt stage is the single 89 us block.
+        let intr = budget.iter().find(|(n, _)| n.contains("interrupt service")).unwrap().1;
+        assert!((85.0..95.0).contains(&intr), "interrupt stage {intr}");
+        assert!(budget.iter().all(|&(_, us)| us >= 0.0));
+    }
+
+    #[test]
+    fn copy_is_the_worst_way_across_a_domain() {
+        for m in [MachineSpec::ds5000_200(), MachineSpec::dec3000_600()] {
+            let (copy, uncached, cached) = cross_domain_delivery(m, 16 * 1024);
+            assert!(copy > uncached, "{}: copy {copy} vs uncached {uncached}", m.name);
+            assert!(uncached > 10.0 * cached, "{}: {uncached} vs {cached}", m.name);
+        }
+    }
+
+    #[test]
+    fn skew_collapses_merge_ratio() {
+        let (aligned, skewed) = skew_vs_merging(MachineSpec::ds5000_200());
+        assert!(aligned > 0.3, "aligned lanes should merge often: {aligned}");
+        assert!(
+            skewed < aligned / 2.0,
+            "skew must collapse merging: {skewed} vs {aligned}"
+        );
+    }
+}

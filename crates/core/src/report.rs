@@ -1,0 +1,183 @@
+//! Paper-style text rendering for experiment results.
+
+use std::fmt::Write as _;
+
+/// Renders a table with a header row and aligned columns.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let _ = writeln!(out, "{line}");
+    let hdr: Vec<String> =
+        header.iter().zip(&widths).map(|(h, w)| format!(" {h:>width$} ", width = w)).collect();
+    let _ = writeln!(out, "{}", hdr.join("|"));
+    let _ = writeln!(out, "{line}");
+    for row in rows {
+        let cells: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!(" {c:>width$} ", width = w)).collect();
+        let _ = writeln!(out, "{}", cells.join("|"));
+    }
+    let _ = writeln!(out, "{line}");
+    out
+}
+
+/// Renders a `(x, series...)` sweep as the figures' data, one row per x.
+pub fn series(
+    title: &str,
+    x_label: &str,
+    x: &[u64],
+    names: &[&str],
+    columns: &[Vec<f64>],
+) -> String {
+    assert_eq!(names.len(), columns.len());
+    let mut header = vec![x_label];
+    header.extend_from_slice(names);
+    let rows: Vec<Vec<String>> = x
+        .iter()
+        .enumerate()
+        .map(|(i, &xv)| {
+            let mut row = vec![format!("{xv}")];
+            for col in columns {
+                row.push(format!("{:.1}", col[i]));
+            }
+            row
+        })
+        .collect();
+    table(title, &header, &rows)
+}
+
+/// Renders series as an ASCII plot in the style of the paper's own
+/// figures (one glyph per series, log-spaced x values on the row axis).
+pub fn ascii_plot(
+    title: &str,
+    y_label: &str,
+    x: &[u64],
+    names: &[&str],
+    columns: &[Vec<f64>],
+    height: usize,
+) -> String {
+    assert_eq!(names.len(), columns.len());
+    const GLYPHS: [char; 6] = ['3', '+', '2', 'x', '*', 'o'];
+    let y_max = columns
+        .iter()
+        .flat_map(|c| c.iter().copied())
+        .fold(1.0f64, f64::max);
+    // Round the axis up to a pleasant ceiling.
+    let step = (y_max / height as f64).ceil().max(1.0);
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{y_label}");
+    for row in (1..=height).rev() {
+        let lo = step * (row as f64 - 0.5);
+        let hi = step * (row as f64 + 0.5);
+        let mut line = format!("{:>6.0} |", step * row as f64);
+        for col_idx in 0..x.len() {
+            let mut cell = ' ';
+            for (s, col) in columns.iter().enumerate() {
+                let v = col[col_idx];
+                if v >= lo && v < hi {
+                    cell = GLYPHS[s % GLYPHS.len()];
+                }
+            }
+            line.push_str(&format!("  {cell}  "));
+        }
+        let _ = writeln!(out, "{line}");
+    }
+    let mut axis = String::from("       +");
+    let mut labels = String::from("        ");
+    for &xv in x {
+        axis.push_str("-----");
+        labels.push_str(&format!("{:^5}", xv));
+    }
+    let _ = writeln!(out, "{axis}");
+    let _ = writeln!(out, "{labels}");
+    for (i, name) in names.iter().enumerate() {
+        let _ = writeln!(out, "        {} = {}", GLYPHS[i % GLYPHS.len()], name);
+    }
+    out
+}
+
+/// Formats `paper` vs `measured` with the ratio, for EXPERIMENTS.md rows.
+pub fn compare(label: &str, paper: f64, measured: f64) -> String {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    format!("{label:<44} paper {paper:>8.1}   measured {measured:>8.1}   ratio {ratio:>5.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = table(
+            "Table 1",
+            &["size", "ATM", "UDP"],
+            &[
+                vec!["1".into(), "353".into(), "598".into()],
+                vec!["1024".into(), "417".into(), "659".into()],
+            ],
+        );
+        assert!(t.contains("Table 1"));
+        assert!(t.contains("353"));
+        assert!(t.contains("1024"));
+        assert_eq!(t.lines().count(), 7);
+    }
+
+    #[test]
+    fn series_aligns_columns_with_x() {
+        let s = series(
+            "Figure 2",
+            "KB",
+            &[1, 2, 4],
+            &["single", "double"],
+            &[vec![100.0, 200.0, 300.0], vec![150.0, 250.0, 350.0]],
+        );
+        assert!(s.contains("single"));
+        assert!(s.contains("350.0"));
+    }
+
+    #[test]
+    fn ascii_plot_places_every_series() {
+        let plot = ascii_plot(
+            "Fig", "Mbps",
+            &[1, 2, 4],
+            &["a", "b"],
+            &[vec![100.0, 200.0, 300.0], vec![50.0, 150.0, 250.0]],
+            10,
+        );
+        assert!(plot.contains("3 = a"));
+        assert!(plot.contains("+ = b"));
+        // Each series contributes its glyph somewhere in the grid.
+        let grid: String = plot.lines().filter(|l| l.contains('|')).collect();
+        assert!(grid.matches('3').count() >= 3, "{plot}");
+        assert!(grid.matches('+').count() >= 3, "{plot}");
+        // The y axis covers the max value.
+        assert!(plot.contains("300") || plot.contains("330"), "{plot}");
+    }
+
+    #[test]
+    fn ascii_plot_handles_single_point() {
+        let plot = ascii_plot("t", "y", &[16], &["s"], &[vec![42.0]], 5);
+        assert!(plot.contains('3'));
+    }
+
+    #[test]
+    fn compare_shows_ratio() {
+        let c = compare("rx throughput", 340.0, 323.0);
+        assert!(c.contains("0.95"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn series_length_mismatch_panics() {
+        series("x", "x", &[1], &["a", "b"], &[vec![1.0]]);
+    }
+}

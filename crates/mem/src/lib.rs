@@ -1,0 +1,38 @@
+//! # osiris-mem — host memory substrate
+//!
+//! Models the parts of a 1994 DEC workstation that the OSIRIS paper's
+//! software fights with:
+//!
+//! * [`phys`] — physical memory with **real byte contents** and a frame
+//!   allocator whose fragmentation policy reproduces §2.2 (contiguous
+//!   virtual pages are generally *not* contiguous physically).
+//! * [`buffer`] — physical buffer descriptors (`{addr, len}`), the unit of
+//!   data exchanged between the host driver and the on-board processors.
+//! * [`cache`] — a direct-mapped data cache with per-line data copies. On a
+//!   machine without DMA coherence (DECstation 5000/200) a CPU read after a
+//!   DMA write returns the **actually stale** bytes, which is what makes the
+//!   lazy-invalidation scheme of §2.3 testable end to end.
+//! * [`bus`] — the TURBOchannel cost model: 40 ns cycles, 32-bit words,
+//!   13-cycle DMA-read / 8-cycle DMA-write overheads (§2.5.1), plus the two
+//!   memory topologies the paper contrasts: everything-on-the-bus
+//!   (5000/200) versus a crossbar with coherent DMA (3000/600).
+//! * [`vm`] — per-domain virtual address spaces, page tables, translation
+//!   of virtual ranges into physical buffer lists, and page wiring state
+//!   (§2.4).
+//! * [`sgmap`] — the virtual-address-DMA alternative §2.2 closes on: a
+//!   hardware scatter/gather map whose per-page entry loads carry the
+//!   fragmentation cost instead of the descriptor list.
+
+pub mod buffer;
+pub mod bus;
+pub mod cache;
+pub mod phys;
+pub mod sgmap;
+pub mod vm;
+
+pub use buffer::PhysBuffer;
+pub use bus::{BusSpec, MemTopology, MemorySystem};
+pub use cache::{CacheAccess, CacheSpec, DataCache};
+pub use phys::{AllocPolicy, FrameAllocator, PhysAddr, PhysMemory};
+pub use sgmap::{BusAddr, SgError, SgMap};
+pub use vm::{AddressSpace, MapError, VirtAddr, VirtRegion};

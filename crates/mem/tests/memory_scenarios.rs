@@ -1,0 +1,153 @@
+//! Cross-module memory scenarios: allocator fragmentation feeding VM
+//! translation feeding DMA planning inputs — the §2.2 pipeline end to end
+//! — plus cache/sg-map interactions.
+
+use osiris_mem::{
+    AddressSpace, AllocPolicy, BusAddr, CacheSpec, DataCache, FrameAllocator, PhysAddr,
+    PhysBuffer, PhysMemory, SgMap,
+};
+
+#[test]
+fn fragmented_message_buffer_counts_match_the_paper() {
+    // §2.2: "a PDU with a data portion of length n pages usually occupies
+    // n + 2 physical buffers" — n+1 data buffers (unaligned start) plus
+    // one header buffer.
+    let mem = PhysMemory::new(512 * 4096, 4096);
+    let mut alloc = FrameAllocator::new(&mem, AllocPolicy::Scattered, 77);
+    let mut asp = AddressSpace::new(4096);
+
+    // A 16 KB data portion starting mid-page (the typical case).
+    let region = asp.alloc_and_map(5 * 4096, &mut alloc).unwrap();
+    let data_start = region.base.offset(2048);
+    let data_bufs = asp.translate(data_start, 16 * 1024).unwrap();
+    // 16 KB from offset 2048 touches 5 pages; scattered frames almost
+    // never coalesce, so 5 buffers (n + 1 with n = 4).
+    assert_eq!(data_bufs.len(), 5, "{data_bufs:?}");
+
+    // The header lives in its own (kernel slab) page: +1 buffer = n + 2.
+    let header = asp.alloc_and_map(64, &mut alloc).unwrap();
+    let header_bufs = asp.translate(header.base, 24).unwrap();
+    assert_eq!(header_bufs.len(), 1);
+    assert_eq!(data_bufs.len() + header_bufs.len(), 4 + 2);
+}
+
+#[test]
+fn sequential_boot_time_allocation_would_coalesce() {
+    // The contrast case: a fresh machine hands out contiguous frames and
+    // the same message is one buffer.
+    let mem = PhysMemory::new(512 * 4096, 4096);
+    let mut alloc = FrameAllocator::new(&mem, AllocPolicy::Sequential, 0);
+    let mut asp = AddressSpace::new(4096);
+    let region = asp.alloc_and_map(5 * 4096, &mut alloc).unwrap();
+    let bufs = asp.translate(region.base.offset(2048), 16 * 1024).unwrap();
+    assert_eq!(bufs.len(), 1);
+}
+
+#[test]
+fn sgmap_makes_a_scattered_message_bus_contiguous() {
+    let mem = PhysMemory::new(512 * 4096, 4096);
+    let mut alloc = FrameAllocator::new(&mem, AllocPolicy::Scattered, 13);
+    let mut asp = AddressSpace::new(4096);
+    let region = asp.alloc_and_map(4 * 4096, &mut alloc).unwrap();
+    let bufs = asp.translate(region.base, 4 * 4096).unwrap();
+    assert!(bufs.len() > 1, "need fragmentation for this test");
+
+    let mut map = SgMap::new(64, 4096);
+    let bus = map.map_fragments(&bufs).unwrap();
+    // The DMA engine sees one contiguous run even though physical pages
+    // are scattered: each fragment's bus range follows the previous.
+    let mut expect = bus[0].0;
+    for (ba, pb) in bus.iter().zip(&bufs) {
+        assert_eq!(ba.0, expect);
+        expect += pb.len as u64;
+        // And translation inverts back to the true physical address.
+        assert_eq!(map.translate(*ba).unwrap(), pb.addr);
+    }
+    // Entry loads = pages covered (the §2.2 cost that does not go away).
+    let pages: u64 = bufs
+        .iter()
+        .map(|b| (b.addr.0 + b.len as u64 - 1) / 4096 - b.addr.0 / 4096 + 1)
+        .sum();
+    assert_eq!(map.loads(), pages);
+}
+
+#[test]
+fn dma_through_the_map_lands_in_the_right_frames() {
+    // Simulate the receive path with virtual DMA: the board writes at bus
+    // addresses, the data shows up in the scattered physical frames.
+    let mut mem = PhysMemory::new(64 * 4096, 4096);
+    let mut cache = DataCache::new(CacheSpec::dec_3000_600());
+    let mut map = SgMap::new(16, 4096);
+    let frags = [
+        PhysBuffer::new(PhysAddr(9 * 4096), 4096),
+        PhysBuffer::new(PhysAddr(3 * 4096), 4096),
+    ];
+    let bus = map.map_fragments(&frags).unwrap();
+
+    // 8 KB arrives as one bus-contiguous stream, cell by cell — and each
+    // transaction stops at page boundaries, exactly the §2.5.2 rule (a
+    // straddling write would land the tail in the wrong frame, which is
+    // why the hardware rule exists).
+    let payload: Vec<u8> = (0..8192).map(|i| (i % 249) as u8).collect();
+    let mut off = 0usize;
+    while off < payload.len() {
+        let cell_end = (off + 44).min(payload.len());
+        let mut pos = off;
+        while pos < cell_end {
+            let bus_addr = bus[0].0 + pos as u64;
+            let to_page_end = 4096 - (bus_addr % 4096) as usize;
+            let take = (cell_end - pos).min(to_page_end);
+            let pa = map.translate(BusAddr(bus_addr)).unwrap();
+            cache.dma_write(&mut mem, pa, &payload[pos..pos + take]);
+            pos += take;
+        }
+        off = cell_end;
+    }
+    assert_eq!(mem.read(frags[0].addr, 4096), &payload[..4096]);
+    assert_eq!(mem.read(frags[1].addr, 4096), &payload[4096..]);
+}
+
+#[test]
+fn cache_aliasing_with_buffer_recycling_is_how_staleness_happens() {
+    // The §2.3 risk spelled out in memory terms: a small cache plus a
+    // large buffer rotation means recycled buffers alias old lines only
+    // after the whole rotation — which normal traffic evicts first.
+    let spec = CacheSpec { size: 8 * 1024, line_size: 16, coherent_dma: false };
+    let mut cache = DataCache::new(spec);
+    let mut mem = PhysMemory::new(64 * 4096, 4096);
+
+    // Read buffer 0 (cached), then stream enough other buffers through
+    // the CPU to exceed the cache.
+    mem.fill(PhysAddr(0), 4096, 0xAA);
+    let mut buf = vec![0u8; 4096];
+    cache.read(&mem, PhysAddr(0), &mut buf);
+    for i in 1..4u64 {
+        cache.read(&mem, PhysAddr(i * 4096), &mut buf); // 12 KB > 8 KB cache
+    }
+    // DMA recycles buffer 0 with new contents.
+    cache.dma_write(&mut mem, PhysAddr(0), &vec![0xBBu8; 4096]);
+    // The old lines were evicted by the rotation: the read is fresh
+    // without any invalidation — the paper's argument for laziness.
+    let acc = cache.read(&mem, PhysAddr(0), &mut buf);
+    assert_eq!(acc.stale_bytes, 0, "rotation must have evicted the stale lines");
+    assert_eq!(buf, vec![0xBBu8; 4096]);
+}
+
+#[test]
+fn too_small_a_rotation_does_go_stale() {
+    // The converse: if the driver rotated buffers inside the cache's
+    // footprint, staleness would be routine — why §2.3 needs the 64-buffer
+    // rotation (and why lazy invalidation is not a free lunch in general).
+    let spec = CacheSpec { size: 64 * 1024, line_size: 16, coherent_dma: false };
+    let mut cache = DataCache::new(spec);
+    let mut mem = PhysMemory::new(64 * 4096, 4096);
+    mem.fill(PhysAddr(0), 4096, 0x11);
+    let mut buf = vec![0u8; 4096];
+    cache.read(&mem, PhysAddr(0), &mut buf);
+    // Tiny rotation: only one other buffer touched; cache keeps buffer 0.
+    cache.read(&mem, PhysAddr(4096), &mut buf);
+    cache.dma_write(&mut mem, PhysAddr(0), &vec![0x22u8; 4096]);
+    let acc = cache.read(&mem, PhysAddr(0), &mut buf);
+    assert_eq!(acc.stale_bytes, 4096, "small rotation leaves stale lines");
+    assert_eq!(buf, vec![0x11u8; 4096], "and the CPU sees the old message");
+}

@@ -1,0 +1,181 @@
+//! Protocol paths: the connection ↔ VCI binding of §3.1.
+//!
+//! "The x-kernel provides a mechanism for establishing a path through the
+//! protocol graph, where a path is given by the sequence of sessions that
+//! will process incoming and outgoing messages on behalf of a particular
+//! application-level connection. Each path is then bound to an unused VCI
+//! by the device driver." The path table is the host-side mirror of the
+//! board's VCI table: it keys fbuf caches, ADC ownership, and delivery.
+
+use std::collections::HashMap;
+
+use osiris_atm::{Vci, VciTable};
+use osiris_host::domain::DomainId;
+
+/// A path (connection) identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathId(pub u32);
+
+/// A UDP-level endpoint pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortAddr {
+    /// Local port.
+    pub local_port: u16,
+    /// Remote port.
+    pub remote_port: u16,
+    /// Remote host (model address).
+    pub remote_host: u16,
+}
+
+/// One established path.
+#[derive(Debug, Clone, Copy)]
+pub struct PathEntry {
+    /// The path's VCI (bound for the connection's lifetime).
+    pub vci: Vci,
+    /// The UDP endpoints.
+    pub ports: PortAddr,
+    /// The protection domain that owns the endpoint.
+    pub domain: DomainId,
+    /// The board queue page serving this path (0 = kernel).
+    pub queue_page: usize,
+}
+
+/// Host-side path registry + VCI allocation.
+#[derive(Debug)]
+pub struct PathTable {
+    vcis: VciTable,
+    paths: HashMap<PathId, PathEntry>,
+    by_port: HashMap<u16, PathId>,
+    next_id: u32,
+}
+
+impl Default for PathTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PathTable {
+    /// A table treating VCIs as abundant (hundreds available).
+    pub fn new() -> Self {
+        PathTable {
+            vcis: VciTable::new(32, 1024),
+            paths: HashMap::new(),
+            by_port: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Opens a path: binds a fresh VCI for the connection's lifetime.
+    pub fn open(
+        &mut self,
+        ports: PortAddr,
+        domain: DomainId,
+        queue_page: usize,
+    ) -> Option<(PathId, Vci)> {
+        let id = PathId(self.next_id);
+        let vci = self.vcis.bind_fresh(id.0)?;
+        self.next_id += 1;
+        self.paths.insert(id, PathEntry { vci, ports, domain, queue_page });
+        self.by_port.insert(ports.local_port, id);
+        Some((id, vci))
+    }
+
+    /// Opens a path on a *specific* VCI (the passive side agrees on the
+    /// initiator's choice out of band, as the testbed harness does).
+    pub fn open_on_vci(
+        &mut self,
+        vci: Vci,
+        ports: PortAddr,
+        domain: DomainId,
+        queue_page: usize,
+    ) -> Option<PathId> {
+        if !self.vcis.bind(vci, self.next_id) {
+            return None;
+        }
+        let id = PathId(self.next_id);
+        self.next_id += 1;
+        self.paths.insert(id, PathEntry { vci, ports, domain, queue_page });
+        self.by_port.insert(ports.local_port, id);
+        Some(id)
+    }
+
+    /// Path lookup by id.
+    pub fn get(&self, id: PathId) -> Option<&PathEntry> {
+        self.paths.get(&id)
+    }
+
+    /// Delivery demultiplexing by local port.
+    pub fn by_local_port(&self, port: u16) -> Option<(PathId, &PathEntry)> {
+        let id = *self.by_port.get(&port)?;
+        Some((id, self.paths.get(&id)?))
+    }
+
+    /// Tears a path down, releasing its VCI.
+    pub fn close(&mut self, id: PathId) {
+        if let Some(e) = self.paths.remove(&id) {
+            self.vcis.unbind(e.vci);
+            self.by_port.remove(&e.ports.local_port);
+        }
+    }
+
+    /// Number of live paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when no paths are open.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ports(p: u16) -> PortAddr {
+        PortAddr { local_port: p, remote_port: p + 1, remote_host: 2 }
+    }
+
+    #[test]
+    fn open_binds_fresh_vcis() {
+        let mut t = PathTable::new();
+        let (a, va) = t.open(ports(100), DomainId::KERNEL, 0).unwrap();
+        let (b, vb) = t.open(ports(200), DomainId(1), 3).unwrap();
+        assert_ne!(va, vb);
+        assert_ne!(a, b);
+        assert_eq!(t.get(a).unwrap().queue_page, 0);
+        assert_eq!(t.get(b).unwrap().domain, DomainId(1));
+    }
+
+    #[test]
+    fn port_demux() {
+        let mut t = PathTable::new();
+        let (id, _) = t.open(ports(7), DomainId::KERNEL, 0).unwrap();
+        let (found, entry) = t.by_local_port(7).unwrap();
+        assert_eq!(found, id);
+        assert_eq!(entry.ports.remote_port, 8);
+        assert!(t.by_local_port(99).is_none());
+    }
+
+    #[test]
+    fn close_releases_everything() {
+        let mut t = PathTable::new();
+        let (id, vci) = t.open(ports(7), DomainId::KERNEL, 0).unwrap();
+        t.close(id);
+        assert!(t.is_empty());
+        assert!(t.by_local_port(7).is_none());
+        // The VCI can be reused by an explicit binding.
+        assert!(t.open_on_vci(vci, ports(9), DomainId::KERNEL, 0).is_some());
+    }
+
+    #[test]
+    fn hundreds_of_paths() {
+        let mut t = PathTable::new();
+        for i in 0..500u16 {
+            assert!(t.open(ports(1000 + i), DomainId::KERNEL, 0).is_some());
+        }
+        assert_eq!(t.len(), 500);
+    }
+}

@@ -1,0 +1,130 @@
+//! Lightweight event tracing.
+//!
+//! In the spirit of smoltcp's packet-dump facility: every component can
+//! emit human-readable trace records with virtual timestamps, kept in a
+//! bounded ring so long throughput runs don't accumulate unbounded memory.
+//! Tracing is off by default and the formatting closure is only invoked
+//! when enabled, so hot paths pay one branch.
+
+use std::collections::VecDeque;
+
+use crate::time::SimTime;
+
+/// A bounded ring of timestamped trace records.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    records: VecDeque<(SimTime, String)>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace ring with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Trace { enabled: false, capacity, records: VecDeque::new(), dropped: 0 }
+    }
+
+    /// A trace ring that starts enabled.
+    pub fn enabled(capacity: usize) -> Self {
+        let mut t = Trace::new(capacity);
+        t.enabled = true;
+        t
+    }
+
+    /// Turns tracing on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether records are currently captured.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emits one record; `msg` is only evaluated when tracing is enabled.
+    pub fn emit<F: FnOnce() -> String>(&mut self, now: SimTime, msg: F) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back((now, msg()));
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = (SimTime, &str)> {
+        self.records.iter().map(|(t, s)| (*t, s.as_str()))
+    }
+
+    /// Number of records evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders all retained records, one per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for (t, s) in self.records() {
+            out.push_str(&format!("[{t}] {s}\n"));
+        }
+        out
+    }
+
+    /// Clears retained records (keeps the enabled flag).
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_skips_formatting() {
+        let mut t = Trace::new(8);
+        let mut called = false;
+        t.emit(SimTime::ZERO, || {
+            called = true;
+            "x".into()
+        });
+        assert!(!called);
+        assert_eq!(t.records().count(), 0);
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = Trace::enabled(8);
+        t.emit(SimTime::from_us(1), || "cell rx".into());
+        t.emit(SimTime::from_us(2), || "dma done".into());
+        let recs: Vec<_> = t.records().collect();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], (SimTime::from_us(1), "cell rx"));
+        assert!(t.dump().contains("dma done"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::enabled(3);
+        for i in 0..5u64 {
+            t.emit(SimTime::from_us(i), || format!("e{i}"));
+        }
+        let recs: Vec<_> = t.records().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(recs, vec!["e2", "e3", "e4"]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::enabled(2);
+        t.emit(SimTime::ZERO, || "a".into());
+        t.clear();
+        assert_eq!(t.records().count(), 0);
+        assert_eq!(t.dropped(), 0);
+        assert!(t.is_enabled());
+    }
+}

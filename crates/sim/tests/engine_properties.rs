@@ -1,0 +1,83 @@
+//! Property tests for the DES kernel itself: the ordering guarantees
+//! every other crate builds on.
+
+use proptest::prelude::*;
+
+use osiris_sim::{EventQueue, FifoResource, Model, SimDuration, SimTime, Simulation};
+
+struct Collector {
+    seen: Vec<(SimTime, u64)>,
+}
+
+impl Model for Collector {
+    type Event = u64;
+    fn handle(&mut self, now: SimTime, ev: u64, _q: &mut EventQueue<u64>) {
+        self.seen.push((now, ev));
+    }
+}
+
+proptest! {
+    /// Dispatch order is total: by time, then by push order.
+    #[test]
+    fn dispatch_is_time_then_fifo(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut sim = Simulation::new(Collector { seen: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            sim.queue.push(SimTime::from_ns(t), i as u64);
+        }
+        sim.run_to_completion();
+        // Expected: stable sort of (time, index).
+        let mut expect: Vec<(u64, u64)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i as u64)).collect();
+        expect.sort_by_key(|&(t, i)| (t, i));
+        let got: Vec<(u64, u64)> =
+            sim.model.seen.iter().map(|&(t, e)| (t.as_ps() / 1000, e)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// A FIFO resource never overlaps grants and never idles while work
+    /// is queued contiguously.
+    #[test]
+    fn fifo_resource_grants_are_disjoint_and_ordered(
+        reqs in proptest::collection::vec((0u64..500, 1u64..50), 1..100)
+    ) {
+        // Request times must be non-decreasing (as the DES guarantees).
+        let mut sorted = reqs.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut r = FifoResource::new("x");
+        let mut last_finish = SimTime::ZERO;
+        let mut total_busy = SimDuration::ZERO;
+        for &(t, d) in &sorted {
+            let g = r.acquire(SimTime::from_us(t), SimDuration::from_us(d));
+            prop_assert!(g.start >= last_finish, "grants must not overlap");
+            prop_assert!(g.start >= SimTime::from_us(t), "no service before request");
+            prop_assert_eq!(g.finish.since(g.start), SimDuration::from_us(d));
+            // No idle gap if the request arrived before the previous finish.
+            if SimTime::from_us(t) <= last_finish {
+                prop_assert_eq!(g.start, last_finish, "work-conserving");
+            }
+            last_finish = g.finish;
+            total_busy += SimDuration::from_us(d);
+        }
+        prop_assert_eq!(r.total_busy(), total_busy);
+        prop_assert_eq!(r.grants(), sorted.len() as u64);
+    }
+
+    /// run_until never dispatches past the deadline and leaves the rest.
+    #[test]
+    fn run_until_partitions_cleanly(times in proptest::collection::vec(0u64..100, 1..50),
+                                    deadline in 0u64..100) {
+        let mut sim = Simulation::new(Collector { seen: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            sim.queue.push(SimTime::from_ns(t), i as u64);
+        }
+        sim.run_until(SimTime::from_ns(deadline));
+        let dispatched = sim.model.seen.len();
+        let remaining = sim.queue.len();
+        prop_assert_eq!(dispatched + remaining, times.len());
+        prop_assert!(sim.model.seen.iter().all(|&(t, _)| t <= SimTime::from_ns(deadline)));
+        prop_assert_eq!(
+            dispatched,
+            times.iter().filter(|&&t| t <= deadline).count()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! A stripe crossing a real switch with real cross traffic — the AURORA
+//! deployment scenario behind §2.6's third skew source.
+//!
+//! Four lanes of a striped PDU traverse four distinct switch ports. Ports
+//! 1 and 3 also carry bursty on/off background traffic, so the stripe's
+//! lanes pick up *different* queueing delays — the skew "it was not
+//! within our power to eliminate". The four-way reassembler absorbs it;
+//! a coordinated switch would remove it by making every lane as slow as
+//! the busiest.
+
+use osiris::atm::sar::{FramingMode, ReassemblyMode, Reassembler, SegmentUnit, Segmenter};
+use osiris::atm::switch::{Switch, SwitchSpec};
+use osiris::atm::traffic::{TrafficModel, TrafficSource};
+use osiris::atm::Vci;
+use osiris::sim::{SimDuration, SimTime};
+
+fn main() {
+    for (label, spec) in [
+        ("uncoordinated switch (the real AURORA)", SwitchSpec::sts3c_16port()),
+        ("coordinated ports (the rejected design)", SwitchSpec::coordinated()),
+    ] {
+        let mut sw = Switch::new(spec);
+        for lane in 0..4u16 {
+            sw.route(Vci(10 + lane), lane as usize);
+        }
+        sw.set_group(vec![0, 1, 2, 3]);
+
+        // Bursty cross traffic hammers ports 1 and 3.
+        for (port, seed) in [(1usize, 11u64), (3, 13)] {
+            let mut src = TrafficSource::new(
+                TrafficModel::OnOff { mean_burst: 25, mean_gap: 30 },
+                155_520_000,
+                SimTime::ZERO,
+                seed,
+            );
+            for at in src.arrivals_until(SimTime::from_ms(1)) {
+                sw.background_load(at, port, 1);
+            }
+        }
+
+        // One 30-cell striped PDU enters mid-storm.
+        let data: Vec<u8> = (0..44 * 30).map(|i| (i % 251) as u8).collect();
+        let cells = Segmenter { framing: FramingMode::FourWay { lanes: 4 }, unit: SegmentUnit::Pdu }
+            .segment(Vci(0), &[&data]);
+        let mut arrivals = Vec::new();
+        for (i, mut cell) in cells.into_iter().enumerate() {
+            let lane = i % 4;
+            cell.header.vci = Vci(10 + lane as u16);
+            let t = SimTime::from_us(300) + SimDuration::from_ns(700 * i as u64);
+            let (port, dep) = sw.forward(t, &cell).expect("routed");
+            cell.header.vci = Vci(0);
+            arrivals.push((dep, port, cell));
+        }
+        arrivals.sort_by_key(|&(at, _, _)| at);
+
+        // Per-lane queueing the stripe experienced.
+        print!("{label}: per-port queueing =");
+        for p in 0..4 {
+            print!(" {:.0}us", sw.port_stats(p).queueing.as_us_f64());
+        }
+        let first = arrivals.first().unwrap().0;
+        let last = arrivals.last().unwrap().0;
+        println!("  (PDU spread {:.0} us)", last.since(first).as_us_f64());
+
+        // Reassemble with strategy 2.
+        let mut r = Reassembler::new(ReassemblyMode::FourWay { lanes: 4 }, 1 << 20, true);
+        let mut done = None;
+        for (_, lane, cell) in &arrivals {
+            done = r.receive(*lane, cell).unwrap().completed.or(done);
+        }
+        let pdu = done.expect("PDU completes");
+        assert!(pdu.crc_ok);
+        assert_eq!(pdu.data.unwrap(), data);
+        println!("  four-way reassembly: complete, CRC ok, data intact\n");
+    }
+    println!("Lesson (§2.6): live with the skew and reassemble around it —");
+    println!("coordination equalises delay only by giving every lane the worst one.");
+}

@@ -1,0 +1,55 @@
+//! Quickstart: measure what the paper measured, in a dozen lines each.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the §4 testbed — two DECstation 5000/200s with OSIRIS boards
+//! linked back-to-back — and runs one latency and one throughput
+//! experiment on it, then switches machines to the DEC 3000/600.
+
+use osiris::board::dma::DmaMode;
+use osiris::config::{TestbedConfig, TouchMode};
+use osiris::experiments::{receive_throughput, round_trip_latency};
+
+fn main() {
+    // ── Round-trip latency (Table 1 style) ─────────────────────────────
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 1024;
+    cfg.messages = 16;
+    cfg.touch = TouchMode::WritePerMessage;
+    let lat = round_trip_latency(&cfg);
+    println!(
+        "UDP/IP round trip, 1 KB messages, DEC 5000/200 pair: {:.0} us (paper: 659 us)",
+        lat.mean_us()
+    );
+
+    // ── Receive-side throughput (Figure 2 style) ───────────────────────
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 64 * 1024;
+    cfg.messages = 16;
+    cfg.warmup = 3;
+    let single = receive_throughput(&cfg);
+    cfg.rx_dma = DmaMode::DoubleCell;
+    let double = receive_throughput(&cfg);
+    println!(
+        "Receive throughput, 64 KB messages: single-cell DMA {:.0} Mbps, double-cell {:.0} Mbps",
+        single.mbps, double.mbps
+    );
+    println!(
+        "Interrupts per delivered PDU: {:.2} (the §2.1.2 suppression at work)",
+        single.interrupts_per_pdu
+    );
+
+    // ── Same experiment, next-generation workstation ───────────────────
+    let mut cfg = TestbedConfig::dec3000_600_udp();
+    cfg.msg_size = 64 * 1024;
+    cfg.messages = 16;
+    cfg.warmup = 3;
+    cfg.rx_dma = DmaMode::DoubleCell;
+    let alpha = receive_throughput(&cfg);
+    println!(
+        "DEC 3000/600 with double-cell DMA: {:.0} Mbps — approaching the 516 Mbps link payload",
+        alpha.mbps
+    );
+}

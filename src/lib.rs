@@ -1,0 +1,8 @@
+//! Workspace root crate for the OSIRIS reproduction.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration and property tests (`tests/`). The library surface simply
+//! re-exports the [`osiris`] facade; depend on `osiris` directly in real
+//! projects.
+
+pub use osiris;

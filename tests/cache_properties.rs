@@ -1,0 +1,119 @@
+//! Property tests for the data-cache model — the §2.3 substrate. The
+//! invariants: an incoherent cache may serve stale bytes but only ever
+//! bytes that *were* at that address before a DMA; invalidation always
+//! restores truth; a coherent cache never serves stale bytes at all.
+
+use proptest::prelude::*;
+
+use osiris::mem::{CacheSpec, DataCache, PhysAddr, PhysMemory};
+
+#[derive(Debug, Clone)]
+enum Op {
+    CpuWrite { at: u16, val: u8, len: u8 },
+    DmaWrite { at: u16, val: u8, len: u8 },
+    Invalidate { at: u16, len: u8 },
+    Read { at: u16, len: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u16>(), any::<u8>(), 1u8..64).prop_map(|(at, val, len)| Op::CpuWrite { at, val, len }),
+        (any::<u16>(), any::<u8>(), 1u8..64).prop_map(|(at, val, len)| Op::DmaWrite { at, val, len }),
+        (any::<u16>(), 1u8..64).prop_map(|(at, len)| Op::Invalidate { at, len }),
+        (any::<u16>(), 1u8..64).prop_map(|(at, len)| Op::Read { at, len }),
+    ]
+}
+
+/// A shadow model: `truth` is memory contents; `cpu_view` is what the CPU
+/// would see (tracks CPU writes and *observed* reads, never DMA directly).
+fn run_ops(coherent: bool, ops: &[Op]) {
+    let spec = CacheSpec { size: 1024, line_size: 16, coherent_dma: coherent };
+    let mut cache = DataCache::new(spec);
+    let mut mem = PhysMemory::new(1 << 16, 4096);
+    // Shadow of every byte-version ever present at each address.
+    let mut history: Vec<Vec<u8>> = (0..(1 << 16)).map(|_| vec![0u8]).collect();
+
+    for op in ops {
+        match *op {
+            Op::CpuWrite { at, val, len } => {
+                let at = (at as usize) % ((1 << 16) - 64);
+                let data = vec![val; len as usize];
+                cache.write(&mut mem, PhysAddr(at as u64), &data);
+                for i in 0..len as usize {
+                    history[at + i].push(val);
+                }
+            }
+            Op::DmaWrite { at, val, len } => {
+                let at = (at as usize) % ((1 << 16) - 64);
+                let data = vec![val; len as usize];
+                cache.dma_write(&mut mem, PhysAddr(at as u64), &data);
+                for i in 0..len as usize {
+                    history[at + i].push(val);
+                }
+            }
+            Op::Invalidate { at, len } => {
+                let at = (at as usize) % ((1 << 16) - 64);
+                cache.invalidate(PhysAddr(at as u64), len as usize);
+            }
+            Op::Read { at, len } => {
+                let at = (at as usize) % ((1 << 16) - 64);
+                let mut buf = vec![0u8; len as usize];
+                let acc = cache.read(&mem, PhysAddr(at as u64), &mut buf);
+                for (i, &b) in buf.iter().enumerate() {
+                    // Every observed byte must be SOME historical value of
+                    // that address — the cache can be stale, never wild.
+                    assert!(
+                        history[at + i].contains(&b),
+                        "byte at {} was never {b}",
+                        at + i
+                    );
+                    if coherent {
+                        // A coherent cache serves only the current value.
+                        assert_eq!(b, *history[at + i].last().unwrap());
+                    }
+                }
+                if coherent {
+                    assert_eq!(acc.stale_bytes, 0, "coherent cache can't be stale");
+                }
+            }
+        }
+    }
+
+    // Final invariant: after a full invalidation, reads equal memory.
+    cache.invalidate_all();
+    let mut buf = vec![0u8; 4096];
+    let acc = cache.read(&mem, PhysAddr(0), &mut buf);
+    assert_eq!(acc.stale_bytes, 0);
+    assert_eq!(&buf[..], mem.read(PhysAddr(0), 4096));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incoherent_cache_serves_only_historical_bytes(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        run_ops(false, &ops);
+    }
+
+    #[test]
+    fn coherent_cache_is_never_stale(
+        ops in proptest::collection::vec(op_strategy(), 1..120)
+    ) {
+        run_ops(true, &ops);
+    }
+
+    /// Invalidation cost equals the word count of the covered lines,
+    /// resident or not (the §2.3 per-word price).
+    #[test]
+    fn invalidation_cost_is_word_exact(at in any::<u16>(), len in 1usize..4096) {
+        let spec = CacheSpec { size: 1024, line_size: 16, coherent_dma: false };
+        let mut cache = DataCache::new(spec);
+        let at = at as u64;
+        let words = cache.invalidate(PhysAddr(at), len);
+        let first = at / 16;
+        let last = (at + len as u64 - 1) / 16;
+        prop_assert_eq!(words, (last - first + 1) * 4);
+    }
+}
