@@ -132,7 +132,16 @@ impl AdcManager {
         for &vci in &vcis {
             rx.bind_vci(vci, page);
         }
-        self.channels.insert(page, Adc { domain, page, vcis, frames, priority });
+        self.channels.insert(
+            page,
+            Adc {
+                domain,
+                page,
+                vcis,
+                frames,
+                priority,
+            },
+        );
         Ok(page)
     }
 
@@ -163,7 +172,10 @@ impl AdcManager {
         host: &mut HostMachine,
         page: usize,
     ) -> SimTime {
-        assert!(self.channels.contains_key(&page), "violation on unopened page {page}");
+        assert!(
+            self.channels.contains_key(&page),
+            "violation on unopened page {page}"
+        );
         self.exceptions_raised += 1;
         let g = host.take_interrupt(now);
         // Exception dispatch into the application.
@@ -207,7 +219,14 @@ mod tests {
         let (mut tx, mut rx) = boards();
         let mut mgr = AdcManager::new();
         let page = mgr
-            .open(DomainId(1), vec![Vci(100)], frames(64..96), 5, &mut tx, &mut rx)
+            .open(
+                DomainId(1),
+                vec![Vci(100)],
+                frames(64..96),
+                5,
+                &mut tx,
+                &mut rx,
+            )
             .unwrap();
         assert!(page > 0);
         assert_eq!(mgr.open_channels(), 1);
@@ -229,8 +248,15 @@ mod tests {
         let (mut tx, mut rx) = boards();
         let mut mgr = AdcManager::new();
         for i in 0..MAX_CHANNELS {
-            mgr.open(DomainId(i as u32 + 1), vec![], frames(0..1), 0, &mut tx, &mut rx)
-                .unwrap();
+            mgr.open(
+                DomainId(i as u32 + 1),
+                vec![],
+                frames(0..1),
+                0,
+                &mut tx,
+                &mut rx,
+            )
+            .unwrap();
         }
         assert_eq!(
             mgr.open(DomainId(99), vec![], frames(0..1), 0, &mut tx, &mut rx),
@@ -242,10 +268,14 @@ mod tests {
     fn close_releases_the_page() {
         let (mut tx, mut rx) = boards();
         let mut mgr = AdcManager::new();
-        let p = mgr.open(DomainId(1), vec![Vci(7)], frames(0..4), 1, &mut tx, &mut rx).unwrap();
+        let p = mgr
+            .open(DomainId(1), vec![Vci(7)], frames(0..4), 1, &mut tx, &mut rx)
+            .unwrap();
         mgr.close(p, &mut tx, &mut rx);
         assert_eq!(mgr.open_channels(), 0);
-        let p2 = mgr.open(DomainId(2), vec![], frames(0..1), 0, &mut tx, &mut rx).unwrap();
+        let p2 = mgr
+            .open(DomainId(2), vec![], frames(0..1), 0, &mut tx, &mut rx)
+            .unwrap();
         assert_eq!(p2, p, "freed page is reused");
     }
 
@@ -255,16 +285,28 @@ mod tests {
         let mut mgr = AdcManager::new();
         let mut host = HostMachine::boot(MachineSpec::ds5000_200(), 7);
         // Authorize frames 64..96 (addresses 0x40000..0x60000).
-        let page =
-            mgr.open(DomainId(1), vec![Vci(50)], frames(64..96), 0, &mut tx, &mut rx).unwrap();
+        let page = mgr
+            .open(
+                DomainId(1),
+                vec![Vci(50)],
+                frames(64..96),
+                0,
+                &mut tx,
+                &mut rx,
+            )
+            .unwrap();
         // The app queues a buffer OUTSIDE its pages.
         use osiris_board::descriptor::Descriptor;
-        tx.queue_mut(page).push(Descriptor::tx(PhysAddr(0x1000), 100, Vci(50), true)).unwrap();
+        tx.queue_mut(page)
+            .push(Descriptor::tx(PhysAddr(0x1000), 100, Vci(50), true))
+            .unwrap();
         let mut link = osiris_atm::StripedLink::new(
             osiris_atm::LinkSpec::sts3c_back_to_back(),
             osiris_atm::stripe::SkewConfig::none(),
         );
-        let out = tx.service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link).unwrap();
+        let out = tx
+            .service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link)
+            .unwrap();
         assert!(out.violation);
         assert!(out.arrivals.is_empty(), "nothing transmitted");
         assert_eq!(tx.violations(), 1);
@@ -279,17 +321,29 @@ mod tests {
         let (mut tx, mut rx) = boards();
         let mut mgr = AdcManager::new();
         let mut host = HostMachine::boot(MachineSpec::ds5000_200(), 7);
-        let page =
-            mgr.open(DomainId(1), vec![Vci(50)], frames(64..96), 0, &mut tx, &mut rx).unwrap();
+        let page = mgr
+            .open(
+                DomainId(1),
+                vec![Vci(50)],
+                frames(64..96),
+                0,
+                &mut tx,
+                &mut rx,
+            )
+            .unwrap();
         host.phys.write(PhysAddr(64 * 4096), &[1u8; 100]);
         let buf = PhysBuffer::new(PhysAddr(64 * 4096), 100);
         use osiris_board::descriptor::Descriptor;
-        tx.queue_mut(page).push(Descriptor::tx(buf.addr, buf.len, Vci(50), true)).unwrap();
+        tx.queue_mut(page)
+            .push(Descriptor::tx(buf.addr, buf.len, Vci(50), true))
+            .unwrap();
         let mut link = osiris_atm::StripedLink::new(
             osiris_atm::LinkSpec::sts3c_back_to_back(),
             osiris_atm::stripe::SkewConfig::none(),
         );
-        let out = tx.service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link).unwrap();
+        let out = tx
+            .service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link)
+            .unwrap();
         assert!(!out.violation);
         assert_eq!(out.arrivals.len(), 3);
     }
@@ -299,17 +353,31 @@ mod tests {
         let (mut tx, mut rx) = boards();
         let mut mgr = AdcManager::new();
         let mut host = HostMachine::boot(MachineSpec::ds5000_200(), 7);
-        let page =
-            mgr.open(DomainId(1), vec![Vci(60)], frames(0..8192), 7, &mut tx, &mut rx).unwrap();
+        let page = mgr
+            .open(
+                DomainId(1),
+                vec![Vci(60)],
+                frames(0..8192),
+                7,
+                &mut tx,
+                &mut rx,
+            )
+            .unwrap();
         use osiris_board::descriptor::Descriptor;
         // Kernel PDU on page 0, ADC PDU on its page.
-        tx.queue_mut(0).push(Descriptor::tx(PhysAddr(0x1000), 44, Vci(1), true)).unwrap();
-        tx.queue_mut(page).push(Descriptor::tx(PhysAddr(0x2000), 44, Vci(60), true)).unwrap();
+        tx.queue_mut(0)
+            .push(Descriptor::tx(PhysAddr(0x1000), 44, Vci(1), true))
+            .unwrap();
+        tx.queue_mut(page)
+            .push(Descriptor::tx(PhysAddr(0x2000), 44, Vci(60), true))
+            .unwrap();
         let mut link = osiris_atm::StripedLink::new(
             osiris_atm::LinkSpec::sts3c_back_to_back(),
             osiris_atm::stripe::SkewConfig::none(),
         );
-        let first = tx.service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link).unwrap();
+        let first = tx
+            .service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link)
+            .unwrap();
         assert_eq!(first.queue, page, "priority 7 transmits first");
     }
 }

@@ -82,12 +82,23 @@ impl Cell {
     /// # Panics
     /// Panics if `data` is empty or longer than 44 bytes.
     pub fn data(vci: Vci, seq: u16, data: &[u8]) -> Self {
-        assert!(!data.is_empty() && data.len() <= CELL_PAYLOAD, "bad cell fill {}", data.len());
+        assert!(
+            !data.is_empty() && data.len() <= CELL_PAYLOAD,
+            "bad cell fill {}",
+            data.len()
+        );
         let mut payload = [0u8; CELL_PAYLOAD];
         payload[..data.len()].copy_from_slice(data);
         Cell {
-            header: CellHeader { vci, last_cell: false },
-            aal: AalHeader { seq, eom: false, fill: data.len() as u8 },
+            header: CellHeader {
+                vci,
+                last_cell: false,
+            },
+            aal: AalHeader {
+                seq,
+                eom: false,
+                fill: data.len() as u8,
+            },
             payload,
             trailer: None,
         }

@@ -21,7 +21,11 @@ fn crc32_table() -> &'static [u32; 256] {
         for (i, e) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { (c >> 1) ^ CRC32_POLY } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    (c >> 1) ^ CRC32_POLY
+                } else {
+                    c >> 1
+                };
             }
             *e = c;
         }

@@ -8,6 +8,7 @@
 //! the delivery-time clamp below is the model's statement of the per-link
 //! FIFO property that §2.6's skew-handling strategies depend on.
 
+use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::{FifoResource, SimDuration, SimTime};
 
 use crate::cell::CELL_BYTES_ON_WIRE;
@@ -25,7 +26,10 @@ impl LinkSpec {
     /// The paper's per-lane channel: 155.52 Mbps, back-to-back boards
     /// (negligible propagation — 100 ns of fibre).
     pub fn sts3c_back_to_back() -> Self {
-        LinkSpec { rate_bps: 155_520_000, propagation: SimDuration::from_ns(100) }
+        LinkSpec {
+            rate_bps: 155_520_000,
+            propagation: SimDuration::from_ns(100),
+        }
     }
 
     /// Time to serialise one 53-byte cell at line rate.
@@ -44,18 +48,23 @@ pub struct LinkLane {
     /// Fixed extra delay (multiplexing-equipment skew).
     pub offset: SimDuration,
     last_arrival: SimTime,
-    cells_sent: u64,
+    cells_sent: Counter,
 }
 
 impl LinkLane {
-    /// A lane with the given fixed skew offset.
+    /// A lane with the given fixed skew offset and a detached counter.
     pub fn new(spec: LinkSpec, offset: SimDuration) -> Self {
+        LinkLane::with_probe(spec, offset, &Probe::detached())
+    }
+
+    /// A lane publishing `<scope>.cells_sent` through `probe`.
+    pub fn with_probe(spec: LinkSpec, offset: SimDuration, probe: &Probe) -> Self {
         LinkLane {
             spec,
             tx: FifoResource::new("link-lane"),
             offset,
             last_arrival: SimTime::ZERO,
-            cells_sent: 0,
+            cells_sent: probe.counter("cells_sent"),
         }
     }
 
@@ -69,13 +78,13 @@ impl LinkLane {
             arrival = self.last_arrival;
         }
         self.last_arrival = arrival;
-        self.cells_sent += 1;
+        self.cells_sent.incr();
         arrival
     }
 
     /// Cells sent over this lane's lifetime.
     pub fn cells_sent(&self) -> u64 {
-        self.cells_sent
+        self.cells_sent.get()
     }
 
     /// When the lane's transmitter next goes idle.

@@ -141,7 +141,10 @@ impl Segmenter {
                 }
                 let last = &mut cells[n - 1];
                 last.aal.eom = true;
-                last.trailer = Some(Trailer { len: total as u32, crc: crc.finish() });
+                last.trailer = Some(Trailer {
+                    len: total as u32,
+                    crc: crc.finish(),
+                });
             }
             FramingMode::FourWay { lanes } => {
                 let lanes = lanes as usize;
@@ -160,7 +163,10 @@ impl Segmenter {
                     }
                     let c = &mut cells[last_idx];
                     c.aal.eom = true;
-                    c.trailer = Some(Trailer { len: lane_len, crc: crc.finish() });
+                    c.trailer = Some(Trailer {
+                        len: lane_len,
+                        crc: crc.finish(),
+                    });
                 }
             }
         }
@@ -384,8 +390,7 @@ impl Reassembler {
         let mut completed = None;
         if cell.aal.eom || cell.header.last_cell {
             let trailer = cell.trailer.ok_or(RxError::NoTrailer)?;
-            let crc_ok = std::mem::take(&mut self.inorder_crc).finish()
-                == trailer.crc
+            let crc_ok = std::mem::take(&mut self.inorder_crc).finish() == trailer.crc
                 && trailer.len == self.inorder_offset;
             let rec = self.records.remove(&pdu).expect("record exists");
             completed = Some(PduComplete {
@@ -398,7 +403,11 @@ impl Reassembler {
             self.current_pdu += 1;
             self.inorder_offset = 0;
         }
-        Ok(CellDisposition { pdu, offset, completed })
+        Ok(CellDisposition {
+            pdu,
+            offset,
+            completed,
+        })
     }
 
     fn receive_seqnum(&mut self, cell: &Cell, max_cells: u32) -> Result<CellDisposition, RxError> {
@@ -443,7 +452,11 @@ impl Reassembler {
         }
         let offset = seq * CELL_PAYLOAD as u32;
         let completed = self.try_complete_seqnum(pdu)?;
-        Ok(CellDisposition { pdu, offset, completed })
+        Ok(CellDisposition {
+            pdu,
+            offset,
+            completed,
+        })
     }
 
     /// Has a cell with this sequence number already been stored for the
@@ -500,7 +513,10 @@ impl Reassembler {
         // A PDU completing purely out of the stash is pathological at the
         // skews we model; surface it to the caller if it ever happens by
         // preferring the outer completion and asserting in debug builds.
-        debug_assert!(nested_complete.is_none(), "stash replay completed a whole PDU");
+        debug_assert!(
+            nested_complete.is_none(),
+            "stash replay completed a whole PDU"
+        );
         Ok(Some(complete))
     }
 
@@ -546,7 +562,11 @@ impl Reassembler {
         }
 
         let completed = self.try_complete_fourway(pdu, lanes);
-        Ok(CellDisposition { pdu, offset, completed })
+        Ok(CellDisposition {
+            pdu,
+            offset,
+            completed,
+        })
     }
 
     fn try_complete_fourway(&mut self, pdu: u64, lanes: usize) -> Option<PduComplete> {
@@ -657,7 +677,10 @@ mod tests {
         assert!(cells[2].header.last_cell);
         assert!(cells[2].aal.eom);
         assert_eq!(cells[2].trailer.unwrap().len, 100);
-        assert_eq!(cells.iter().map(|c| c.aal.seq as usize).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            cells.iter().map(|c| c.aal.seq as usize).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 
     #[test]
@@ -684,12 +707,17 @@ mod tests {
     #[test]
     fn fourway_framing_marks_each_lane() {
         let data = payload(44 * 10);
-        let cells = seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu).segment(Vci(1), &[&data]);
+        let cells =
+            seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu).segment(Vci(1), &[&data]);
         assert_eq!(cells.len(), 10);
         // Lane l gets cells l, l+4, ...; the last per lane carries EOM.
         // 10 cells: lane0 {0,4,8}, lane1 {1,5,9}, lane2 {2,6}, lane3 {3,7}.
-        let eoms: Vec<usize> =
-            cells.iter().enumerate().filter(|(_, c)| c.aal.eom).map(|(i, _)| i).collect();
+        let eoms: Vec<usize> = cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.aal.eom)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(eoms, vec![6, 7, 8, 9]);
         assert!(cells[9].header.last_cell);
         for i in eoms {
@@ -789,13 +817,17 @@ mod tests {
     fn seqnum_rejects_partial_fill_midstream() {
         let mut r = Reassembler::new(ReassemblyMode::SeqNum { max_cells: 64 }, 1 << 20, true);
         let c = Cell::data(Vci(1), 0, &[0u8; 10]); // partial, not last
-        assert_eq!(r.receive(0, &c).unwrap_err(), RxError::PartialFillUnsupported);
+        assert_eq!(
+            r.receive(0, &c).unwrap_err(),
+            RxError::PartialFillUnsupported
+        );
     }
 
     #[test]
     fn fourway_reassembles_under_lane_skew() {
         let data = payload(44 * 13 + 7);
-        let cells = seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu).segment(Vci(1), &[&data]);
+        let cells =
+            seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu).segment(Vci(1), &[&data]);
         let n = cells.len();
         // Interleave lanes with heavy skew: deliver lane 3 first, then 2,
         // then 1, then 0 — per-lane order preserved (the §2.6 skew class).
@@ -819,16 +851,22 @@ mod tests {
     fn fourway_short_pdu_completes_via_last_cell_bit() {
         // A 2-cell PDU on a 4-lane stripe: lanes 2 and 3 carry nothing.
         let data = payload(60);
-        let cells = seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu).segment(Vci(1), &[&data]);
+        let cells =
+            seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu).segment(Vci(1), &[&data]);
         assert_eq!(cells.len(), 2);
         let mut r = Reassembler::new(ReassemblyMode::FourWay { lanes: 4 }, 1 << 20, true);
         assert!(r.receive(0, &cells[0]).unwrap().completed.is_none());
-        let p = r.receive(1, &cells[1]).unwrap().completed.expect("complete");
+        let p = r
+            .receive(1, &cells[1])
+            .unwrap()
+            .completed
+            .expect("complete");
         assert!(p.crc_ok);
         assert_eq!(p.data.unwrap(), data);
         // Lanes 2/3 skipped the PDU; a following PDU still works.
         let data2 = payload(44 * 6);
-        let cells2 = seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu).segment(Vci(1), &[&data2]);
+        let cells2 =
+            seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu).segment(Vci(1), &[&data2]);
         let mut out = None;
         for (i, c) in cells2.iter().enumerate() {
             out = r.receive(i % 4, c).unwrap().completed.or(out);
@@ -909,7 +947,8 @@ mod tests {
     #[test]
     fn disposition_offsets_are_placement_addresses() {
         let data = payload(44 * 5);
-        let cells = seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu).segment(Vci(1), &[&data]);
+        let cells =
+            seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu).segment(Vci(1), &[&data]);
         let mut r = Reassembler::new(ReassemblyMode::FourWay { lanes: 4 }, 1 << 20, false);
         // Deliver in a skewed but per-lane-FIFO order and check offsets
         // equal global_cell_index * 44.

@@ -14,6 +14,7 @@
 //! The striper also injects cell loss and corruption for the fault-
 //! handling tests (CRC detection, lazy cache invalidation recovery).
 
+use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::{SimDuration, SimRng, SimTime};
 
 use crate::cell::Cell;
@@ -79,8 +80,7 @@ impl SkewConfig {
 
     /// Whether any skew source is active.
     pub fn has_skew(&self) -> bool {
-        !self.queue_jitter_max.is_zero()
-            || self.lane_offsets.iter().any(|o| !o.is_zero())
+        !self.queue_jitter_max.is_zero() || self.lane_offsets.iter().any(|o| !o.is_zero())
     }
 }
 
@@ -92,24 +92,36 @@ pub struct StripedLink {
     queue_jitter_max: SimDuration,
     drop_prob: f64,
     corrupt_prob: f64,
-    cells_dropped: u64,
-    cells_corrupted: u64,
+    cells_dropped: Counter,
+    cells_corrupted: Counter,
 }
 
 impl StripedLink {
-    /// A striped link with `skew.lane_offsets.len()` lanes of `spec` each.
+    /// A striped link with `skew.lane_offsets.len()` lanes of `spec` each
+    /// and detached counters (standalone use).
     pub fn new(spec: LinkSpec, skew: SkewConfig) -> Self {
+        StripedLink::with_probe(spec, skew, &Probe::detached())
+    }
+
+    /// A striped link publishing per-lane `lane<i>.cells_sent` plus
+    /// `cells_dropped` / `cells_corrupted` under `<scope>.link`.
+    pub fn with_probe(spec: LinkSpec, skew: SkewConfig, probe: &Probe) -> Self {
         assert!(!skew.lane_offsets.is_empty(), "need at least one lane");
-        let lanes =
-            skew.lane_offsets.iter().map(|&off| LinkLane::new(spec, off)).collect::<Vec<_>>();
+        let p = probe.scoped("link");
+        let lanes = skew
+            .lane_offsets
+            .iter()
+            .enumerate()
+            .map(|(i, &off)| LinkLane::with_probe(spec, off, &p.scoped(&format!("lane{i}"))))
+            .collect::<Vec<_>>();
         StripedLink {
             lanes,
             rng: SimRng::new(skew.seed),
             queue_jitter_max: skew.queue_jitter_max,
             drop_prob: skew.drop_prob,
             corrupt_prob: skew.corrupt_prob,
-            cells_dropped: 0,
-            cells_corrupted: 0,
+            cells_dropped: p.counter("cells_dropped"),
+            cells_corrupted: p.counter("cells_corrupted"),
         }
     }
 
@@ -133,14 +145,14 @@ impl StripedLink {
         cell: &mut Cell,
     ) -> Option<(usize, SimTime)> {
         if self.drop_prob > 0.0 && self.rng.gen_bool(self.drop_prob) {
-            self.cells_dropped += 1;
+            self.cells_dropped.incr();
             return None;
         }
         if self.corrupt_prob > 0.0 && self.rng.gen_bool(self.corrupt_prob) {
             let byte = self.rng.gen_range(44) as usize;
             let bit = self.rng.gen_range(8) as u8;
             cell.corrupt_bit(byte, bit);
-            self.cells_corrupted += 1;
+            self.cells_corrupted.incr();
         }
         let lane = (index_in_pdu as usize) % self.lanes.len();
         let jitter = if self.queue_jitter_max.is_zero() {
@@ -154,12 +166,12 @@ impl StripedLink {
 
     /// Cells dropped by fault injection.
     pub fn cells_dropped(&self) -> u64 {
-        self.cells_dropped
+        self.cells_dropped.get()
     }
 
     /// Cells corrupted by fault injection.
     pub fn cells_corrupted(&self) -> u64 {
-        self.cells_corrupted
+        self.cells_corrupted.get()
     }
 
     /// Total cells carried (all lanes).
@@ -224,8 +236,7 @@ mod tests {
         }
         // Global order must be violated (cell 1 on the +3us lane arrives
         // after cell 4 on the +0us lane, etc.).
-        let globally_ordered =
-            all.windows(2).all(|w| w[0].1 <= w[1].1);
+        let globally_ordered = all.windows(2).all(|w| w[0].1 <= w[1].1);
         assert!(!globally_ordered, "mux skew should reorder across lanes");
     }
 

@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 
+use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::{FifoResource, SimDuration, SimTime};
 
 use crate::cell::{Cell, CELL_BYTES_ON_WIRE};
@@ -51,7 +52,10 @@ impl SwitchSpec {
 
     /// The same switch with coordinated port groups.
     pub fn coordinated() -> Self {
-        SwitchSpec { coordinated: true, ..Self::sts3c_16port() }
+        SwitchSpec {
+            coordinated: true,
+            ..Self::sts3c_16port()
+        }
     }
 
     /// Serialisation time of one cell on an output port.
@@ -61,7 +65,7 @@ impl SwitchSpec {
     }
 }
 
-/// Per-port statistics.
+/// Per-port statistics, read back from the observability registry.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PortStats {
     /// Cells forwarded through this port.
@@ -70,27 +74,53 @@ pub struct PortStats {
     pub queueing: SimDuration,
 }
 
+/// One port's registry-visible counters.
+#[derive(Debug, Clone)]
+struct PortCounters {
+    cells: Counter,
+    /// Queueing delay in picoseconds (durations are accumulated as
+    /// integer ps so they stay exact and registry-snapshotable).
+    queueing_ps: Counter,
+}
+
 /// The switch.
 #[derive(Debug)]
 pub struct Switch {
     spec: SwitchSpec,
     routes: HashMap<Vci, usize>,
     outputs: Vec<FifoResource>,
-    stats: Vec<PortStats>,
+    stats: Vec<PortCounters>,
     /// Port group used by the coordinated mode (all members share fate).
     group: Vec<usize>,
-    unrouted: u64,
+    unrouted: Counter,
 }
 
 impl Switch {
-    /// A switch with no routes installed.
+    /// A switch with no routes installed and detached counters.
     pub fn new(spec: SwitchSpec) -> Self {
+        Switch::with_probe(spec, &Probe::detached())
+    }
+
+    /// A switch publishing `port<i>.cells` / `port<i>.queueing_ps` and
+    /// `unrouted` under `<scope>.switch`.
+    pub fn with_probe(spec: SwitchSpec, probe: &Probe) -> Self {
+        let p = probe.scoped("switch");
         Switch {
-            outputs: (0..spec.ports).map(|_| FifoResource::new("switch-port")).collect(),
-            stats: vec![PortStats::default(); spec.ports],
+            outputs: (0..spec.ports)
+                .map(|_| FifoResource::new("switch-port"))
+                .collect(),
+            stats: (0..spec.ports)
+                .map(|i| {
+                    let pp = p.scoped(&format!("port{i}"));
+                    PortCounters {
+                        cells: pp.counter("cells"),
+                        queueing_ps: pp.counter("queueing_ps"),
+                    }
+                })
+                .collect(),
             routes: HashMap::new(),
             group: Vec::new(),
-            unrouted: 0,
+            unrouted: p.counter("unrouted"),
             spec,
         }
     }
@@ -117,13 +147,15 @@ impl Switch {
     /// `None` if the VCI has no route (the cell is dropped).
     pub fn forward(&mut self, now: SimTime, cell: &Cell) -> Option<(usize, SimTime)> {
         let Some(&port) = self.routes.get(&cell.header.vci) else {
-            self.unrouted += 1;
+            self.unrouted.incr();
             return None;
         };
         let at = now + self.spec.fabric_latency;
         let grant = self.outputs[port].acquire(at, self.spec.cell_time());
-        self.stats[port].cells += 1;
-        self.stats[port].queueing += grant.queueing_delay(at);
+        self.stats[port].cells.incr();
+        self.stats[port]
+            .queueing_ps
+            .add(grant.queueing_delay(at).as_ps());
         let mut departure = grant.finish;
         if self.spec.coordinated && self.group.contains(&port) {
             // The rejected design: hold the cell until the slowest group
@@ -148,12 +180,16 @@ impl Switch {
 
     /// Per-port statistics.
     pub fn port_stats(&self, port: usize) -> PortStats {
-        self.stats[port]
+        let c = &self.stats[port];
+        PortStats {
+            cells: c.cells.get(),
+            queueing: SimDuration::from_ps(c.queueing_ps.get()),
+        }
     }
 
     /// Cells dropped for lack of a route.
     pub fn unrouted(&self) -> u64 {
-        self.unrouted
+        self.unrouted.get()
     }
 }
 
@@ -220,7 +256,10 @@ mod tests {
         // No skew between lanes...
         let min = departures.iter().min().unwrap();
         let max = departures.iter().max().unwrap();
-        assert!(max.since(*min) < SimDuration::from_us(5), "coordination must remove skew");
+        assert!(
+            max.since(*min) < SimDuration::from_us(5),
+            "coordination must remove skew"
+        );
         // ...but every lane is as slow as the loaded one — "negating the
         // advantage of striping".
         assert!(*min > SimTime::from_us(50));

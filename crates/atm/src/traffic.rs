@@ -80,7 +80,10 @@ impl TrafficSource {
                 self.next = at + gap;
                 at
             }
-            TrafficModel::OnOff { mean_burst, mean_gap } => {
+            TrafficModel::OnOff {
+                mean_burst,
+                mean_gap,
+            } => {
                 if self.burst_left == 0 {
                     // New burst after a geometric idle gap.
                     let gap_cells = Self::geometric(&mut self.rng, mean_gap) as u64;
@@ -145,8 +148,14 @@ mod tests {
 
     #[test]
     fn cbr_full_load_is_line_rate() {
-        let mut s =
-            TrafficSource::new(TrafficModel::Cbr { load_permille: 1000 }, RATE, SimTime::ZERO, 1);
+        let mut s = TrafficSource::new(
+            TrafficModel::Cbr {
+                load_permille: 1000,
+            },
+            RATE,
+            SimTime::ZERO,
+            1,
+        );
         let arrivals = s.arrivals_until(SimTime::from_ms(1));
         // 1 ms at 2.7263 us/cell ≈ 366 cells.
         assert!((360..=370).contains(&arrivals.len()), "{}", arrivals.len());
@@ -155,7 +164,10 @@ mod tests {
     #[test]
     fn onoff_bursts_at_line_rate_with_gaps() {
         let mut s = TrafficSource::new(
-            TrafficModel::OnOff { mean_burst: 10, mean_gap: 20 },
+            TrafficModel::OnOff {
+                mean_burst: 10,
+                mean_gap: 20,
+            },
             RATE,
             SimTime::ZERO,
             7,
@@ -185,7 +197,10 @@ mod tests {
     fn sources_are_deterministic_per_seed() {
         let mk = || {
             TrafficSource::new(
-                TrafficModel::OnOff { mean_burst: 5, mean_gap: 5 },
+                TrafficModel::OnOff {
+                    mean_burst: 5,
+                    mean_gap: 5,
+                },
                 RATE,
                 SimTime::ZERO,
                 42,
@@ -204,8 +219,14 @@ mod tests {
 
     #[test]
     fn arrivals_until_respects_bound() {
-        let mut s =
-            TrafficSource::new(TrafficModel::Cbr { load_permille: 1000 }, RATE, SimTime::ZERO, 3);
+        let mut s = TrafficSource::new(
+            TrafficModel::Cbr {
+                load_permille: 1000,
+            },
+            RATE,
+            SimTime::ZERO,
+            3,
+        );
         let until = SimTime::from_us(100);
         let arrivals = s.arrivals_until(until);
         assert!(!arrivals.is_empty());

@@ -25,7 +25,11 @@ impl VciTable {
     /// `first` are reserved (VCI 0 is never used, mirroring ATM practice).
     pub fn new(first: u16, limit: u16) -> Self {
         assert!(first > 0 && first < limit);
-        VciTable { bindings: HashMap::new(), next: first, limit }
+        VciTable {
+            bindings: HashMap::new(),
+            next: first,
+            limit,
+        }
     }
 
     /// Binds a fresh VCI to `path`. Returns `None` when the space is
@@ -132,7 +136,10 @@ mod tests {
     fn bind_conflict_rejected() {
         let mut t = VciTable::new(1, 100);
         assert!(t.bind(Vci(50), 1));
-        assert!(!t.bind(Vci(50), 2), "rebinding to a different path must fail");
+        assert!(
+            !t.bind(Vci(50), 2),
+            "rebinding to a different path must fail"
+        );
         assert!(t.bind(Vci(50), 1), "idempotent rebind is fine");
     }
 

@@ -26,7 +26,11 @@ pub fn hec(bytes: &[u8]) -> u8 {
     for &b in bytes {
         crc ^= b;
         for _ in 0..8 {
-            crc = if crc & 0x80 != 0 { (crc << 1) ^ 0x07 } else { crc << 1 };
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ 0x07
+            } else {
+                crc << 1
+            };
         }
     }
     // I.432 recommends XORing the HEC with 0x55 for better delineation.
@@ -140,7 +144,10 @@ mod tests {
         c.header.last_cell = true;
         if with_trailer {
             c.aal.eom = true;
-            c.trailer = Some(Trailer { len: 1234, crc: 0xDEADBEEF });
+            c.trailer = Some(Trailer {
+                len: 1234,
+                crc: 0xDEADBEEF,
+            });
         }
         c
     }
@@ -191,7 +198,10 @@ mod tests {
     #[test]
     fn missing_trailer_detected() {
         let bytes = encode(&sample(true));
-        assert_eq!(decode(&bytes[..WIRE_BASE]).unwrap_err(), WireError::MissingTrailer);
+        assert_eq!(
+            decode(&bytes[..WIRE_BASE]).unwrap_err(),
+            WireError::MissingTrailer
+        );
     }
 
     #[test]

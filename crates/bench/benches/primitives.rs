@@ -1,89 +1,90 @@
-//! Criterion microbenches for the hot data structures and algorithms of
-//! the reproduction: the things a production driver would care about.
+//! Microbenches for the hot data structures and algorithms of the
+//! reproduction: the things a production driver would care about.
+//! Runs on the in-tree harness (`osiris_bench::micro`) so the whole
+//! suite works with zero external dependencies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
-use osiris::atm::sar::{FramingMode, ReassemblyMode, Reassembler, SegmentUnit, Segmenter};
+use osiris::atm::sar::{FramingMode, Reassembler, ReassemblyMode, SegmentUnit, Segmenter};
 use osiris::atm::{crc32, Vci};
 use osiris::board::descriptor::{DescRing, Descriptor};
 use osiris::board::dma::{plan_dma, DmaMode};
 use osiris::board::spsc::SpscRing;
 use osiris::host::machine::internet_checksum;
+use osiris::mem::VirtAddr;
 use osiris::mem::{CacheSpec, DataCache, PhysAddr, PhysMemory};
 use osiris::proto::msg::Message;
-use osiris::mem::VirtAddr;
+use osiris_bench::micro::bench;
 
-fn bench_crc32(c: &mut Criterion) {
-    let mut g = c.benchmark_group("crc32");
+fn bench_crc32() {
     for size in [44usize, 4096, 65536] {
         let data = vec![0xA5u8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| crc32(std::hint::black_box(d)))
+        bench(&format!("crc32/{size}"), Some(size as u64), || {
+            crc32(std::hint::black_box(&data))
         });
     }
-    g.finish();
 }
 
-fn bench_checksum(c: &mut Criterion) {
-    let mut g = c.benchmark_group("internet_checksum");
+fn bench_checksum() {
     for size in [44usize, 16384] {
         let data = vec![0x5Au8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| internet_checksum(std::hint::black_box(d)))
-        });
-    }
-    g.finish();
-}
-
-fn bench_desc_ring(c: &mut Criterion) {
-    let d = Descriptor::tx(PhysAddr(0x1000), 4096, Vci(1), true);
-    c.bench_function("desc_ring_push_pop", |b| {
-        let mut ring = DescRing::new(64);
-        b.iter(|| {
-            ring.push(std::hint::black_box(d)).unwrap();
-            std::hint::black_box(ring.pop())
-        })
-    });
-}
-
-fn bench_spsc(c: &mut Criterion) {
-    c.bench_function("spsc_push_pop", |b| {
-        let ring = SpscRing::new(64);
-        b.iter(|| {
-            ring.push(std::hint::black_box(7u64)).unwrap();
-            std::hint::black_box(ring.pop())
-        })
-    });
-}
-
-fn bench_segmentation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("segment_16KB");
-    let data = vec![0x3Cu8; 16 * 1024];
-    g.throughput(Throughput::Bytes(data.len() as u64));
-    for framing in [FramingMode::EndOfPdu, FramingMode::FourWay { lanes: 4 }] {
-        let seg = Segmenter { framing, unit: SegmentUnit::Pdu };
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{framing:?}")),
-            &data,
-            |b, d| b.iter(|| seg.segment(Vci(1), &[std::hint::black_box(d)])),
+        bench(
+            &format!("internet_checksum/{size}"),
+            Some(size as u64),
+            || internet_checksum(std::hint::black_box(&data)),
         );
     }
-    g.finish();
 }
 
-fn bench_reassembly(c: &mut Criterion) {
-    let mut g = c.benchmark_group("reassemble_16KB");
+fn bench_desc_ring() {
+    let d = Descriptor::tx(PhysAddr(0x1000), 4096, Vci(1), true);
+    let mut ring = DescRing::new(64);
+    bench("desc_ring_push_pop", None, || {
+        ring.push(std::hint::black_box(d)).unwrap();
+        ring.pop()
+    });
+}
+
+fn bench_spsc() {
+    let ring = SpscRing::new(64);
+    bench("spsc_push_pop", None, || {
+        ring.push(std::hint::black_box(7u64)).unwrap();
+        ring.pop()
+    });
+}
+
+fn bench_segmentation() {
+    let data = vec![0x3Cu8; 16 * 1024];
+    for framing in [FramingMode::EndOfPdu, FramingMode::FourWay { lanes: 4 }] {
+        let seg = Segmenter {
+            framing,
+            unit: SegmentUnit::Pdu,
+        };
+        bench(
+            &format!("segment_16KB/{framing:?}"),
+            Some(data.len() as u64),
+            || seg.segment(Vci(1), &[std::hint::black_box(&data)]),
+        );
+    }
+}
+
+fn bench_reassembly() {
     let data = vec![0x3Cu8; 16 * 1024];
     for (name, framing, mode) in [
         ("in_order", FramingMode::EndOfPdu, ReassemblyMode::InOrder),
-        ("four_way", FramingMode::FourWay { lanes: 4 }, ReassemblyMode::FourWay { lanes: 4 }),
+        (
+            "four_way",
+            FramingMode::FourWay { lanes: 4 },
+            ReassemblyMode::FourWay { lanes: 4 },
+        ),
     ] {
-        let cells = Segmenter { framing, unit: SegmentUnit::Pdu }.segment(Vci(1), &[&data]);
-        g.throughput(Throughput::Bytes(data.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cells, |b, cells| {
-            b.iter(|| {
+        let cells = Segmenter {
+            framing,
+            unit: SegmentUnit::Pdu,
+        }
+        .segment(Vci(1), &[&data]);
+        bench(
+            &format!("reassemble_16KB/{name}"),
+            Some(data.len() as u64),
+            || {
                 let mut r = Reassembler::new(mode, 1 << 20, true);
                 let mut out = None;
                 for (i, cell) in cells.iter().enumerate() {
@@ -93,122 +94,107 @@ fn bench_reassembly(c: &mut Criterion) {
                     };
                     out = r.receive(lane, cell).unwrap().completed.or(out);
                 }
-                std::hint::black_box(out)
-            })
-        });
+                out
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_dma_planning(c: &mut Criterion) {
-    c.bench_function("plan_dma_double_cell_page_edge", |b| {
-        b.iter(|| {
-            plan_dma(
-                DmaMode::DoubleCell,
-                std::hint::black_box(PhysAddr(4096 - 20)),
-                88,
-                4096,
-            )
-        })
+fn bench_dma_planning() {
+    bench("plan_dma_double_cell_page_edge", None, || {
+        plan_dma(
+            DmaMode::DoubleCell,
+            std::hint::black_box(PhysAddr(4096 - 20)),
+            88,
+            4096,
+        )
     });
 }
 
-fn bench_cache_model(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache_read_16KB");
-    g.throughput(Throughput::Bytes(16 * 1024));
-    g.bench_function("warm", |b| {
-        let mut cache = DataCache::new(CacheSpec::dec_3000_600());
-        let mem = PhysMemory::new(1 << 20, 4096);
-        let mut buf = vec![0u8; 16 * 1024];
-        cache.read(&mem, PhysAddr(0), &mut buf); // warm it
-        b.iter(|| {
-            std::hint::black_box(cache.read(&mem, PhysAddr(0), &mut buf));
-        })
-    });
-    g.finish();
-}
-
-fn bench_message_tool(c: &mut Criterion) {
-    c.bench_function("msg_push_pop_split", |b| {
-        b.iter(|| {
-            let mut m = Message::single(VirtAddr(0x1000), 16 * 1024);
-            m.push_header(VirtAddr(0x9000), 24);
-            let front = m.split_off_front(4096);
-            let mut whole = front;
-            whole.join(m);
-            std::hint::black_box(whole.pop_header(24))
-        })
+fn bench_cache_model() {
+    let mut cache = DataCache::new(CacheSpec::dec_3000_600());
+    let mem = PhysMemory::new(1 << 20, 4096);
+    let mut buf = vec![0u8; 16 * 1024];
+    cache.read(&mem, PhysAddr(0), &mut buf); // warm it
+    bench("cache_read_16KB/warm", Some(16 * 1024), || {
+        cache.read(&mem, PhysAddr(0), &mut buf)
     });
 }
 
-fn bench_wire_codec(c: &mut Criterion) {
+fn bench_message_tool() {
+    bench("msg_push_pop_split", None, || {
+        let mut m = Message::single(VirtAddr(0x1000), 16 * 1024);
+        m.push_header(VirtAddr(0x9000), 24);
+        let front = m.split_off_front(4096);
+        let mut whole = front;
+        whole.join(m);
+        whole.pop_header(24)
+    });
+}
+
+fn bench_wire_codec() {
     use osiris::atm::wire::{decode, encode};
     let mut cell = osiris::atm::Cell::data(Vci(9), 3, &[0x5A; 44]);
     cell.header.last_cell = true;
-    c.bench_function("cell_wire_roundtrip", |b| {
-        b.iter(|| {
-            let bytes = encode(std::hint::black_box(&cell));
-            std::hint::black_box(decode(&bytes).unwrap())
-        })
+    bench("cell_wire_roundtrip", None, || {
+        let bytes = encode(std::hint::black_box(&cell));
+        decode(&bytes).unwrap()
     });
 }
 
-fn bench_switch_forward(c: &mut Criterion) {
+fn bench_switch_forward() {
     use osiris::atm::switch::{Switch, SwitchSpec};
     use osiris::sim::SimTime;
-    c.bench_function("switch_forward", |b| {
-        let mut sw = Switch::new(SwitchSpec::sts3c_16port());
-        sw.route(Vci(1), 3);
-        let cell = osiris::atm::Cell::data(Vci(1), 0, &[1; 44]);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 2727;
-            std::hint::black_box(sw.forward(SimTime::from_ns(t), &cell))
-        })
+    let mut sw = Switch::new(SwitchSpec::sts3c_16port());
+    sw.route(Vci(1), 3);
+    let cell = osiris::atm::Cell::data(Vci(1), 0, &[1; 44]);
+    let mut t = 0u64;
+    bench("switch_forward", None, || {
+        t += 2727;
+        sw.forward(SimTime::from_ns(t), &cell)
     });
 }
 
-fn bench_sgmap(c: &mut Criterion) {
-    use osiris::mem::SgMap;
+fn bench_sgmap() {
     use osiris::mem::PhysBuffer;
-    c.bench_function("sgmap_map_translate_invalidate", |b| {
-        let mut m = SgMap::new(64, 4096);
-        b.iter(|| {
-            let bus = m.map_buffer(PhysBuffer::new(PhysAddr(7 * 4096), 16 * 1024)).unwrap();
-            std::hint::black_box(m.translate(bus).unwrap());
-            m.invalidate_all();
-        })
+    use osiris::mem::SgMap;
+    let mut m = SgMap::new(64, 4096);
+    bench("sgmap_map_translate_invalidate", None, || {
+        let bus = m
+            .map_buffer(PhysBuffer::new(PhysAddr(7 * 4096), 16 * 1024))
+            .unwrap();
+        std::hint::black_box(m.translate(bus).unwrap());
+        m.invalidate_all();
     });
 }
 
-fn bench_traffic_source(c: &mut Criterion) {
+fn bench_traffic_source() {
     use osiris::atm::traffic::{TrafficModel, TrafficSource};
     use osiris::sim::SimTime;
-    c.bench_function("onoff_arrivals", |b| {
-        let mut s = TrafficSource::new(
-            TrafficModel::OnOff { mean_burst: 10, mean_gap: 20 },
-            155_520_000,
-            SimTime::ZERO,
-            5,
-        );
-        b.iter(|| std::hint::black_box(s.next_arrival()))
-    });
+    let mut s = TrafficSource::new(
+        TrafficModel::OnOff {
+            mean_burst: 10,
+            mean_gap: 20,
+        },
+        155_520_000,
+        SimTime::ZERO,
+        5,
+    );
+    bench("onoff_arrivals", None, || s.next_arrival());
 }
 
-criterion_group!(
-    benches,
-    bench_crc32,
-    bench_checksum,
-    bench_desc_ring,
-    bench_spsc,
-    bench_segmentation,
-    bench_reassembly,
-    bench_dma_planning,
-    bench_cache_model,
-    bench_message_tool,
-    bench_wire_codec,
-    bench_switch_forward,
-    bench_sgmap,
-    bench_traffic_source,
-);
-criterion_main!(benches);
+fn main() {
+    bench_crc32();
+    bench_checksum();
+    bench_desc_ring();
+    bench_spsc();
+    bench_segmentation();
+    bench_reassembly();
+    bench_dma_planning();
+    bench_cache_model();
+    bench_message_tool();
+    bench_wire_codec();
+    bench_switch_forward();
+    bench_sgmap();
+    bench_traffic_source();
+}

@@ -1,54 +1,49 @@
-//! Criterion benches of the whole-system simulator: how fast the DES
-//! reproduces the paper's experiments (wall-clock per simulated
-//! experiment). These are the costs a user pays when sweeping parameters.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! Whole-system benches: how fast the DES reproduces the paper's
+//! experiments (wall-clock per simulated experiment). These are the
+//! costs a user pays when sweeping parameters.
 
 use osiris::board::dma::DmaMode;
 use osiris::config::{TestbedConfig, TouchMode};
 use osiris::experiments::{receive_throughput, round_trip_latency, transmit_throughput};
+use osiris_bench::micro::bench;
 
-fn bench_latency_experiment(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_round_trip");
-    g.sample_size(10);
+fn bench_latency_experiment() {
     for size in [1u64, 4096] {
         let mut cfg = TestbedConfig::ds5000_200_udp();
         cfg.msg_size = size;
         cfg.messages = 6;
         cfg.touch = TouchMode::WritePerMessage;
-        g.bench_with_input(BenchmarkId::from_parameter(size), &cfg, |b, cfg| {
-            b.iter(|| round_trip_latency(std::hint::black_box(cfg)))
+        bench(&format!("sim_round_trip/{size}"), None, || {
+            round_trip_latency(std::hint::black_box(&cfg))
         });
     }
-    g.finish();
 }
 
-fn bench_rx_experiment(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_receive_throughput");
-    g.sample_size(10);
+fn bench_rx_experiment() {
     for dma in [DmaMode::SingleCell, DmaMode::DoubleCell] {
         let mut cfg = TestbedConfig::ds5000_200_udp();
         cfg.msg_size = 16 * 1024;
         cfg.messages = 10;
         cfg.warmup = 2;
         cfg.rx_dma = dma;
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{dma:?}")), &cfg, |b, cfg| {
-            b.iter(|| receive_throughput(std::hint::black_box(cfg)))
+        bench(&format!("sim_receive_throughput/{dma:?}"), None, || {
+            receive_throughput(std::hint::black_box(&cfg))
         });
     }
-    g.finish();
 }
 
-fn bench_tx_experiment(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_transmit_throughput");
-    g.sample_size(10);
+fn bench_tx_experiment() {
     let mut cfg = TestbedConfig::ds5000_200_udp();
     cfg.msg_size = 16 * 1024;
     cfg.messages = 10;
     cfg.warmup = 2;
-    g.bench_function("16KB", |b| b.iter(|| transmit_throughput(std::hint::black_box(&cfg))));
-    g.finish();
+    bench("sim_transmit_throughput/16KB", None, || {
+        transmit_throughput(std::hint::black_box(&cfg))
+    });
 }
 
-criterion_group!(benches, bench_latency_experiment, bench_rx_experiment, bench_tx_experiment);
-criterion_main!(benches);
+fn main() {
+    bench_latency_experiment();
+    bench_rx_experiment();
+    bench_tx_experiment();
+}

@@ -90,7 +90,11 @@ fn main() {
     for (label, mtu, offset) in [
         // The §2.2 recipe needs BOTH a page-aligned message and an
         // MTU of k pages + header.
-        ("aligned message + aligned MTU", 4096 + IP_HEADER_BYTES as u32, 0u64),
+        (
+            "aligned message + aligned MTU",
+            4096 + IP_HEADER_BYTES as u32,
+            0u64,
+        ),
         ("misaligned message, 4 KB MTU", 4096u32, 2048),
     ] {
         let mut cfg = TestbedConfig::ds5000_200_udp();
@@ -114,7 +118,10 @@ fn main() {
     let mut rows = Vec::new();
     for (label, mode) in [
         ("in-order (no skew tolerance)", ReassemblyMode::InOrder),
-        ("sequence numbers", ReassemblyMode::SeqNum { max_cells: 4096 }),
+        (
+            "sequence numbers",
+            ReassemblyMode::SeqNum { max_cells: 4096 },
+        ),
         ("four-way AAL5", ReassemblyMode::FourWay { lanes: 4 }),
     ] {
         let mut cfg = TestbedConfig::ds5000_200_udp();

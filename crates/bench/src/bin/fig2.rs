@@ -50,7 +50,11 @@ fn main() {
                 "Figure 2 (plot): DEC 5000/200 receive Mbps",
                 "Throughput in Mbps",
                 &kb,
-                &["double-cell DMA", "single-cell DMA", "single-cell, cache invalidated"],
+                &[
+                    "double-cell DMA",
+                    "single-cell DMA",
+                    "single-cell, cache invalidated"
+                ],
                 &[double.clone(), single.clone(), invalidated.clone()],
                 14,
             )
@@ -63,11 +67,28 @@ fn main() {
             "Figure 2: DEC 5000/200 UDP/IP receive throughput (Mbps)",
             "KB",
             &kb,
-            &["double-cell DMA", "single-cell DMA", "single-cell, cache invalidated"],
+            &[
+                "double-cell DMA",
+                "single-cell DMA",
+                "single-cell, cache invalidated"
+            ],
             &[double.clone(), single.clone(), invalidated.clone()],
         )
     );
-    println!("{}", report::compare("peak double-cell DMA", 379.0, *double.last().unwrap()));
-    println!("{}", report::compare("peak single-cell DMA", 340.0, *single.last().unwrap()));
-    println!("{}", report::compare("peak with invalidation", 250.0, *invalidated.last().unwrap()));
+    println!(
+        "{}",
+        report::compare("peak double-cell DMA", 379.0, *double.last().unwrap())
+    );
+    println!(
+        "{}",
+        report::compare("peak single-cell DMA", 340.0, *single.last().unwrap())
+    );
+    println!(
+        "{}",
+        report::compare(
+            "peak with invalidation",
+            250.0,
+            *invalidated.last().unwrap()
+        )
+    );
 }

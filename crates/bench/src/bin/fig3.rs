@@ -41,8 +41,9 @@ fn main() {
     }
     if json_requested() {
         let mut r = ExperimentResult::new("fig3", "DEC 3000/600 receive throughput", "Mbps");
-        for (name, col) in
-            ["double", "double+cs", "single", "single+cs"].iter().zip(&series)
+        for (name, col) in ["double", "double+cs", "single", "single+cs"]
+            .iter()
+            .zip(&series)
         {
             r.push_series(name, &sizes, col, None);
         }
@@ -57,7 +58,12 @@ fn main() {
                 "Figure 3 (plot): DEC 3000/600 receive Mbps",
                 "Throughput in Mbps",
                 &kb,
-                &["double-cell", "double-cell + UDP-CS", "single-cell", "single-cell + UDP-CS"],
+                &[
+                    "double-cell",
+                    "double-cell + UDP-CS",
+                    "single-cell",
+                    "single-cell + UDP-CS"
+                ],
                 &series,
                 14,
             )
@@ -70,10 +76,29 @@ fn main() {
             "Figure 3: DEC 3000/600 UDP/IP receive throughput (Mbps)",
             "KB",
             &kb,
-            &["double-cell", "double-cell + UDP-CS", "single-cell", "single-cell + UDP-CS"],
+            &[
+                "double-cell",
+                "double-cell + UDP-CS",
+                "single-cell",
+                "single-cell + UDP-CS"
+            ],
             &series,
         )
     );
-    println!("{}", report::compare("peak double-cell (link-bound)", 516.0, *series[0].last().unwrap()));
-    println!("{}", report::compare("peak double-cell + checksum", 438.0, *series[1].last().unwrap()));
+    println!(
+        "{}",
+        report::compare(
+            "peak double-cell (link-bound)",
+            516.0,
+            *series[0].last().unwrap()
+        )
+    );
+    println!(
+        "{}",
+        report::compare(
+            "peak double-cell + checksum",
+            438.0,
+            *series[1].last().unwrap()
+        )
+    );
 }

@@ -19,11 +19,17 @@ fn main() {
     let mut alpha_cs = Vec::new();
     let mut ds = Vec::new();
     for &size in &sizes {
-        alpha.push(transmit_throughput(&at_size(TestbedConfig::dec3000_600_udp(), size)));
+        alpha.push(transmit_throughput(&at_size(
+            TestbedConfig::dec3000_600_udp(),
+            size,
+        )));
         let mut cfg = at_size(TestbedConfig::dec3000_600_udp(), size);
         cfg.udp_checksum = true;
         alpha_cs.push(transmit_throughput(&cfg));
-        ds.push(transmit_throughput(&at_size(TestbedConfig::ds5000_200_udp(), size)));
+        ds.push(transmit_throughput(&at_size(
+            TestbedConfig::ds5000_200_udp(),
+            size,
+        )));
     }
     if json_requested() {
         let mut r = ExperimentResult::new("fig4", "transmit throughput", "Mbps");
@@ -58,7 +64,13 @@ fn main() {
             &[alpha.clone(), alpha_cs.clone(), ds.clone()],
         )
     );
-    println!("{}", report::compare("peak transmit (3000/600)", 340.0, *alpha.last().unwrap()));
-    println!("{}", report::compare("peak transmit (5000/200)", 300.0, *ds.last().unwrap()));
+    println!(
+        "{}",
+        report::compare("peak transmit (3000/600)", 340.0, *alpha.last().unwrap())
+    );
+    println!(
+        "{}",
+        report::compare("peak transmit (5000/200)", 300.0, *ds.last().unwrap())
+    );
     println!("  (paper: 'maximal throughput achieved on the transmit side is currently 325 Mbps')");
 }

@@ -20,7 +20,10 @@ fn main() {
     section("§2.5.1 DMA ceilings (TURBOchannel arithmetic)");
     let paper = [366.7, 463.2, 502.9, 586.7, 651.9];
     for (row, p) in dma_ceilings().into_iter().zip(paper) {
-        println!("{}", report::compare(&format!("{} B {}", row.0, row.1), p, row.2));
+        println!(
+            "{}",
+            report::compare(&format!("{} B {}", row.0, row.1), p, row.2)
+        );
     }
     println!("  (paper quotes 367 / 463 / 503 / 587 Mbps)");
 
@@ -29,8 +32,12 @@ fn main() {
     println!(
         "interrupt service: {} (paper: 75 us);  UDP/IP PDU service ≈ {} us (paper: ~200 us)",
         ds.costs.interrupt_service,
-        (ds.costs.driver_pdu + ds.costs.driver_buffer + ds.costs.ip_fixed + ds.costs.udp_fixed
-            + ds.costs.thread_dispatch + ds.costs.interrupt_service)
+        (ds.costs.driver_pdu
+            + ds.costs.driver_buffer
+            + ds.costs.ip_fixed
+            + ds.costs.udp_fixed
+            + ds.costs.thread_dispatch
+            + ds.costs.interrupt_service)
             .as_us_f64()
     );
     let mut cfg = TestbedConfig::ds5000_200_udp();
@@ -38,18 +45,26 @@ fn main() {
     cfg.messages = 30;
     cfg.warmup = 3;
     let (per_pdu, transition) = interrupt_suppression(&cfg);
-    println!("interrupts per PDU under a 4 KB burst: traditional {per_pdu:.2}, OSIRIS {transition:.2}");
+    println!(
+        "interrupts per PDU under a 4 KB burst: traditional {per_pdu:.2}, OSIRIS {transition:.2}"
+    );
 
     section("§2.2 physical buffer fragmentation (16 KB message)");
     for (label, mtu) in [
         ("MTU = 4 KB (misaligned)", 4096u32),
-        ("MTU = page + IP header (aligned)", page_aligned_mtu(1, 4096)),
+        (
+            "MTU = page + IP header (aligned)",
+            page_aligned_mtu(1, 4096),
+        ),
     ] {
         let plan = fragment_layout(16 * 1024, mtu);
         let bufs: u32 = (0..plan.count())
             .map(|i| fragment_buffer_count(plan.offset_of(i) % 4096, plan.sizes[i], 4096))
             .sum();
-        println!("{label:<36} {} fragments, {bufs} physical buffers", plan.count());
+        println!(
+            "{label:<36} {} fragments, {bufs} physical buffers",
+            plan.count()
+        );
     }
     println!("  (paper: 'up to 14 physical buffers' misaligned; aligned boundaries fix it)");
     let (d, sg) = osiris::experiments::virtual_dma_setup_cost(MachineSpec::ds5000_200(), 4);
@@ -86,7 +101,9 @@ fn main() {
 
     section("§2.6 striping skew vs double-cell combining");
     let (aligned, skewed) = skew_vs_merging(MachineSpec::ds5000_200());
-    println!("double-cell merges per cell: aligned lanes {aligned:.2}, mux-skewed lanes {skewed:.2}");
+    println!(
+        "double-cell merges per cell: aligned lanes {aligned:.2}, mux-skewed lanes {skewed:.2}"
+    );
     println!("  ('once skew is introduced, the probability that two successive cells");
     println!("    will be received in order is greatly reduced')");
     let _ = SkewConfig::none();
@@ -94,7 +111,10 @@ fn main() {
     section("§2.7 DMA versus PIO (application access rate, 64 KB)");
     for m in [MachineSpec::ds5000_200(), MachineSpec::dec3000_600()] {
         let (pio, dma) = pio_vs_dma(m);
-        println!("{:<14} PIO {pio:>6.0} Mbps   DMA+CPU-read {dma:>6.0} Mbps", m.name);
+        println!(
+            "{:<14} PIO {pio:>6.0} Mbps   DMA+CPU-read {dma:>6.0} Mbps",
+            m.name
+        );
     }
     println!("  (and CPU-side checksum on the 5000/200 caps near the paper's 80 Mbps)");
 
@@ -103,8 +123,7 @@ fn main() {
 
     section("§3.1 moving 16 KB across a protection domain (us per message)");
     for m in [MachineSpec::ds5000_200(), MachineSpec::dec3000_600()] {
-        let (copy, uncached, cached) =
-            osiris::experiments::cross_domain_delivery(m, 16 * 1024);
+        let (copy, uncached, cached) = osiris::experiments::cross_domain_delivery(m, 16 * 1024);
         println!(
             "{:<14} copy {copy:>6.0}   uncached fbuf {uncached:>5.0}   cached fbuf {cached:>4.0}  ({:.0}x)",
             m.name,
@@ -129,9 +148,8 @@ fn main() {
     section("anatomy of a 1024 B one-way trip (5000/200, UDP/IP)");
     let mut cfg = TestbedConfig::ds5000_200_udp();
     cfg.msg_size = 1024;
-    for (stage, us) in osiris::experiments::latency_budget(&cfg) {
-        println!("  {stage:<46} {us:>7.1} us");
-    }
+    let budget = osiris::experiments::latency_budget(&cfg);
+    print!("{}", report::latency_anatomy(&budget));
 
     section("§3.2 ADC data-path savings");
     let h = HostMachine::boot(MachineSpec::ds5000_200(), 1);
@@ -152,8 +170,8 @@ fn lock_comparison() {
     let (_, c1) = free_ring.producer_check();
     let c2 = free_ring.push(d).unwrap();
     let tc_cycle_ns = 40.0;
-    let lock_free_ns =
-        (c1.loads + c2.loads) as f64 * 15.0 * tc_cycle_ns + (c1.stores + c2.stores) as f64 * 3.0 * tc_cycle_ns;
+    let lock_free_ns = (c1.loads + c2.loads) as f64 * 15.0 * tc_cycle_ns
+        + (c1.stores + c2.stores) as f64 * 3.0 * tc_cycle_ns;
 
     // Locked: same ring work plus lock acquire/release, and the host must
     // wait out the board's critical section (2 us hold, arriving midway).
@@ -167,6 +185,12 @@ fn lock_comparison() {
         + (costs.loads as f64 * 15.0 + costs.stores as f64 * 3.0) * tc_cycle_ns
         + waited.as_ns_f64();
 
-    println!("lock-free enqueue:   {:>7.0} ns (no waiting possible)", lock_free_ns);
-    println!("test-and-set enqueue:{:>7.0} ns (incl. {} waiting on the peer)", locked_ns, waited);
+    println!(
+        "lock-free enqueue:   {:>7.0} ns (no waiting possible)",
+        lock_free_ns
+    );
+    println!(
+        "test-and-set enqueue:{:>7.0} ns (incl. {} waiting on the peer)",
+        locked_ns, waited
+    );
 }

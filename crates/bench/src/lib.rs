@@ -14,6 +14,7 @@
 
 use osiris::config::TestbedConfig;
 
+pub mod micro;
 pub mod results;
 pub use results::{json_requested, ExperimentResult};
 

@@ -1,0 +1,58 @@
+//! A minimal wall-clock microbench harness for the `benches/` targets.
+//!
+//! The offline build cannot fetch criterion, and these benches only need
+//! "ns per iteration, roughly stable": warm up briefly, then time batches
+//! until a measurement budget is spent and report the best batch (least
+//! scheduler noise). Deterministic output ordering, one line per bench.
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Wall-clock budget spent warming up each benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Runs `f` repeatedly and prints `name: <ns>/iter [<MB/s>]`.
+///
+/// `bytes`, when given, is the payload size one iteration processes; the
+/// report then includes throughput, mirroring criterion's `Throughput`.
+pub fn bench<R>(name: &str, bytes: Option<u64>, mut f: impl FnMut() -> R) {
+    // Warm-up: also discovers a batch size that runs ~1 ms per batch so
+    // the timer overhead disappears into the batch.
+    let mut iters_per_batch = 1u64;
+    let warm_start = Instant::now();
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters_per_batch {
+            std::hint::black_box(f());
+        }
+        let took = t.elapsed();
+        if warm_start.elapsed() >= WARMUP_BUDGET {
+            break;
+        }
+        if took < Duration::from_millis(1) {
+            iters_per_batch = (iters_per_batch * 2).min(1 << 20);
+        }
+    }
+
+    let mut best_ns_per_iter = f64::INFINITY;
+    let measure_start = Instant::now();
+    while measure_start.elapsed() < MEASURE_BUDGET {
+        let t = Instant::now();
+        for _ in 0..iters_per_batch {
+            std::hint::black_box(f());
+        }
+        let ns = t.elapsed().as_nanos() as f64 / iters_per_batch as f64;
+        if ns < best_ns_per_iter {
+            best_ns_per_iter = ns;
+        }
+    }
+
+    match bytes {
+        Some(b) => {
+            let mbps = b as f64 / best_ns_per_iter * 1e9 / (1024.0 * 1024.0);
+            println!("{name:<44} {best_ns_per_iter:>12.1} ns/iter  {mbps:>9.0} MiB/s");
+        }
+        None => println!("{name:<44} {best_ns_per_iter:>12.1} ns/iter"),
+    }
+}

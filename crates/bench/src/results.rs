@@ -3,24 +3,25 @@
 //! Every regeneration binary accepts `--json`; instead of the paper-style
 //! text tables it then emits one [`ExperimentResult`] document on stdout,
 //! so EXPERIMENTS.md refreshes and downstream analysis (plotting,
-//! regression tracking in CI) work from the same source of truth.
+//! regression tracking in CI) work from the same source of truth. The
+//! document is built with the in-tree serializer (`osiris::sim::Json`) —
+//! no external dependencies — and parses back with the same module.
 
-use serde::Serialize;
+use osiris::sim::Json;
 
 /// One measured point, optionally paired with the paper's number.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Independent variable (message size in bytes, etc.).
     pub x: u64,
     /// Measured value.
     pub measured: f64,
     /// The paper's value at this point, when the paper gives one.
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub paper: Option<f64>,
 }
 
 /// One named series of points.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Series label (e.g. "double-cell DMA").
     pub name: String,
@@ -29,7 +30,7 @@ pub struct Series {
 }
 
 /// A whole experiment: the unit a regeneration binary emits.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentResult {
     /// Which paper artifact this regenerates ("table1", "fig2", …).
     pub id: String,
@@ -59,14 +60,51 @@ impl ExperimentResult {
             .iter()
             .zip(measured)
             .enumerate()
-            .map(|(i, (&x, &m))| Point { x, measured: m, paper: paper.map(|p| p[i]) })
+            .map(|(i, (&x, &m))| Point {
+                x,
+                measured: m,
+                paper: paper.map(|p| p[i]),
+            })
             .collect();
-        self.series.push(Series { name: name.to_string(), points });
+        self.series.push(Series {
+            name: name.to_string(),
+            points,
+        });
+    }
+
+    /// The document as a JSON tree. `paper` is omitted where absent,
+    /// matching the original wire shape.
+    pub fn to_json_value(&self) -> Json {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let points = s
+                    .points
+                    .iter()
+                    .map(|p| {
+                        let mut obj = Json::obj().with("x", p.x).with("measured", p.measured);
+                        if let Some(paper) = p.paper {
+                            obj = obj.with("paper", paper);
+                        }
+                        obj
+                    })
+                    .collect();
+                Json::obj()
+                    .with("name", s.name.as_str())
+                    .with("points", Json::Arr(points))
+            })
+            .collect();
+        Json::obj()
+            .with("id", self.id.as_str())
+            .with("title", self.title.as_str())
+            .with("unit", self.unit.as_str())
+            .with("series", Json::Arr(series))
     }
 
     /// Serialises to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("result serialisation")
+        self.to_json_value().render_pretty()
     }
 }
 
@@ -82,14 +120,37 @@ mod tests {
     #[test]
     fn json_shape_is_stable() {
         let mut r = ExperimentResult::new("fig2", "receive throughput", "Mbps");
-        r.push_series("single", &[1024, 2048], &[72.5, 121.5], Some(&[70.0, 120.0]));
+        r.push_series(
+            "single",
+            &[1024, 2048],
+            &[72.5, 121.5],
+            Some(&[70.0, 120.0]),
+        );
         r.push_series("double", &[1024, 2048], &[74.0, 127.7], None);
         let j = r.to_json();
-        let v: serde_json::Value = serde_json::from_str(&j).unwrap();
-        assert_eq!(v["id"], "fig2");
-        assert_eq!(v["series"][0]["points"][1]["x"], 2048);
-        assert_eq!(v["series"][0]["points"][1]["paper"], 120.0);
-        assert!(v["series"][1]["points"][0].get("paper").is_none());
+        let v = Json::parse(&j).unwrap();
+        assert_eq!(v.get("id").unwrap().as_str(), Some("fig2"));
+        let s0p1 = v
+            .get("series")
+            .unwrap()
+            .idx(0)
+            .unwrap()
+            .get("points")
+            .unwrap()
+            .idx(1)
+            .unwrap();
+        assert_eq!(s0p1.get("x").unwrap().as_u64(), Some(2048));
+        assert_eq!(s0p1.get("paper").unwrap().as_f64(), Some(120.0));
+        let s1p0 = v
+            .get("series")
+            .unwrap()
+            .idx(1)
+            .unwrap()
+            .get("points")
+            .unwrap()
+            .idx(0)
+            .unwrap();
+        assert!(s1p0.get("paper").is_none());
     }
 
     #[test]

@@ -71,7 +71,13 @@ pub struct Descriptor {
 impl Descriptor {
     /// A transmit-direction descriptor (no error flag).
     pub fn tx(addr: PhysAddr, len: u32, vci: Vci, eop: bool) -> Self {
-        Descriptor { addr, len, vci, eop, err: false }
+        Descriptor {
+            addr,
+            len,
+            vci,
+            eop,
+            err: false,
+        }
     }
 }
 
@@ -120,7 +126,13 @@ impl DescRing {
     /// full from empty, so capacity is `size - 1`.
     pub fn new(size: u32) -> Self {
         assert!(size >= 2, "ring needs at least 2 slots");
-        DescRing { slots: vec![None; size as usize], head: 0, tail: 0, size, high_water: 0 }
+        DescRing {
+            slots: vec![None; size as usize],
+            head: 0,
+            tail: 0,
+            size,
+            high_water: 0,
+        }
     }
 
     /// Usable capacity (`size - 1`).
@@ -181,7 +193,9 @@ impl DescRing {
         if self.is_empty() {
             return None;
         }
-        let d = self.slots[self.tail as usize].take().expect("slot must be occupied");
+        let d = self.slots[self.tail as usize]
+            .take()
+            .expect("slot must be occupied");
         self.tail = (self.tail + 1) % self.size;
         // Descriptor words loaded + the tail-pointer store.
         Some((d, RingCosts::new(DESC_WORDS, 1)))
@@ -207,7 +221,9 @@ impl DescRing {
     pub fn iter_live(&self) -> impl Iterator<Item = &Descriptor> + '_ {
         (0..self.len()).map(move |i| {
             let idx = (self.tail + i) % self.size;
-            self.slots[idx as usize].as_ref().expect("live slot occupied")
+            self.slots[idx as usize]
+                .as_ref()
+                .expect("live slot occupied")
         })
     }
 }
@@ -228,7 +244,11 @@ pub struct LockedRing {
 impl LockedRing {
     /// A locked ring with `size` slots.
     pub fn new(size: u32) -> Self {
-        LockedRing { ring: DescRing::new(size), lock: FifoResource::new("tset-lock"), lock_acquire_loads: 1 }
+        LockedRing {
+            ring: DescRing::new(size),
+            lock: FifoResource::new("tset-lock"),
+            lock_acquire_loads: 1,
+        }
     }
 
     /// Access to the underlying ring state (checks only).

@@ -80,7 +80,10 @@ pub fn plan_dma(mode: DmaMode, addr: PhysAddr, len: u32, page_size: u64) -> Vec<
     while remaining > 0 {
         let to_page_end = page_size - (cur & (page_size - 1));
         let take = remaining.min(chunk_cap).min(to_page_end);
-        out.push(DmaXfer { addr: PhysAddr(cur), len: take as u32 });
+        out.push(DmaXfer {
+            addr: PhysAddr(cur),
+            len: take as u32,
+        });
         cur += take;
         remaining -= take;
     }
@@ -96,7 +99,13 @@ mod tests {
     #[test]
     fn single_cell_fits_one_transaction() {
         let plan = plan_dma(DmaMode::SingleCell, PhysAddr(1000), 44, PAGE);
-        assert_eq!(plan, vec![DmaXfer { addr: PhysAddr(1000), len: 44 }]);
+        assert_eq!(
+            plan,
+            vec![DmaXfer {
+                addr: PhysAddr(1000),
+                len: 44
+            }]
+        );
     }
 
     #[test]
@@ -108,8 +117,14 @@ mod tests {
         assert_eq!(
             plan,
             vec![
-                DmaXfer { addr: PhysAddr(start), len: 20 },
-                DmaXfer { addr: PhysAddr(PAGE), len: 24 },
+                DmaXfer {
+                    addr: PhysAddr(start),
+                    len: 20
+                },
+                DmaXfer {
+                    addr: PhysAddr(PAGE),
+                    len: 24
+                },
             ]
         );
     }
@@ -145,7 +160,16 @@ mod tests {
     #[test]
     fn plan_conserves_bytes_and_never_crosses_pages() {
         for mode in [DmaMode::SingleCell, DmaMode::DoubleCell, DmaMode::Arbitrary] {
-            for start in [0u64, 1, 43, 44, PAGE - 1, PAGE - 44, PAGE - 45, 3 * PAGE - 7] {
+            for start in [
+                0u64,
+                1,
+                43,
+                44,
+                PAGE - 1,
+                PAGE - 44,
+                PAGE - 45,
+                3 * PAGE - 7,
+            ] {
                 for len in [1u32, 43, 44, 45, 88, 89, 4096, 10_000] {
                     let plan = plan_dma(mode, PhysAddr(start), len, PAGE);
                     assert_eq!(

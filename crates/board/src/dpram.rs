@@ -34,7 +34,11 @@ impl DpramLayout {
     /// (§2.3: "a free buffer queue and a receive queue with a length of 64
     /// buffers each"); transmit rings sized to match.
     pub fn paper_default() -> Self {
-        DpramLayout { tx_ring_slots: 64, free_ring_slots: 64, rx_ring_slots: 64 }
+        DpramLayout {
+            tx_ring_slots: 64,
+            free_ring_slots: 64,
+            rx_ring_slots: 64,
+        }
     }
 
     /// Index of the queue page owned by the kernel.
@@ -75,7 +79,11 @@ mod tests {
 
     #[test]
     fn oversized_rings_do_not_fit() {
-        let l = DpramLayout { tx_ring_slots: 4096, free_ring_slots: 64, rx_ring_slots: 64 };
+        let l = DpramLayout {
+            tx_ring_slots: 4096,
+            free_ring_slots: 64,
+            rx_ring_slots: 64,
+        };
         assert!(!l.fits());
     }
 }

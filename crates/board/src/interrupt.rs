@@ -80,7 +80,11 @@ mod tests {
 
     #[test]
     fn stats_ratio() {
-        let s = InterruptStats { rx_interrupts: 5, pdus_delivered: 100, ..Default::default() };
+        let s = InterruptStats {
+            rx_interrupts: 5,
+            pdus_delivered: 100,
+            ..Default::default()
+        };
         assert!((s.rx_interrupts_per_pdu() - 0.05).abs() < 1e-12);
         assert_eq!(InterruptStats::default().rx_interrupts_per_pdu(), 0.0);
     }

@@ -30,6 +30,7 @@ use std::collections::{HashMap, HashSet};
 use osiris_atm::sar::{CellDisposition, Reassembler, ReassemblyMode};
 use osiris_atm::{Cell, Vci};
 use osiris_mem::{DataCache, MemorySystem, PhysAddr, PhysMemory};
+use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::{FifoResource, SimDuration, SimTime};
 
 use crate::descriptor::{DescRing, Descriptor};
@@ -80,7 +81,8 @@ impl RxConfig {
     }
 }
 
-/// Receive statistics.
+/// Receive statistics — a point-in-time copy of the processor's
+/// registry counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RxStats {
     /// Cells processed by the firmware.
@@ -139,7 +141,50 @@ struct PduBufState {
 
 impl PduBufState {
     fn new(page: usize) -> Self {
-        PduBufState { page, bufs: Vec::new(), buf_fill: Vec::new(), pushed_upto: 0, poisoned: false }
+        PduBufState {
+            page,
+            bufs: Vec::new(),
+            buf_fill: Vec::new(),
+            pushed_upto: 0,
+            poisoned: false,
+        }
+    }
+}
+
+/// The receive half's registry-visible counters (scope `<probe>.rx`).
+#[derive(Debug, Clone)]
+struct RxCounters {
+    cells: Counter,
+    pdus_delivered: Counter,
+    pdus_dropped_no_buffer: Counter,
+    pdus_crc_failed: Counter,
+    cells_rejected: Counter,
+    dma_transactions: Counter,
+    double_cell_merges: Counter,
+    /// Interrupt opportunities: descriptor pushes that would interrupt
+    /// under a fire-always policy.
+    intr_raised: Counter,
+    /// Opportunities the configured policy elected not to assert; the
+    /// host takes exactly `intr_raised - intr_suppressed` rx interrupts.
+    intr_suppressed: Counter,
+    violations: Counter,
+}
+
+impl RxCounters {
+    fn with_probe(probe: &Probe) -> Self {
+        let p = probe.scoped("rx");
+        RxCounters {
+            cells: p.counter("cells"),
+            pdus_delivered: p.counter("pdus_delivered"),
+            pdus_dropped_no_buffer: p.counter("pdus_dropped_no_buffer"),
+            pdus_crc_failed: p.counter("pdus_crc_failed"),
+            cells_rejected: p.counter("cells_rejected"),
+            dma_transactions: p.counter("dma_transactions"),
+            double_cell_merges: p.counter("double_cell_merges"),
+            intr_raised: p.counter("intr_raised"),
+            intr_suppressed: p.counter("intr_suppressed"),
+            violations: p.counter("violations"),
+        }
     }
 }
 
@@ -166,28 +211,34 @@ pub struct RxProcessor {
     pending: Option<PendingDma>,
     pending_gen: u64,
     authorized: Vec<Option<HashSet<u64>>>,
-    violations: u64,
-    stats: RxStats,
-    pub(crate) intr: InterruptStats,
+    stats: RxCounters,
 }
 
 impl RxProcessor {
-    /// A receive processor with one free/receive ring pair per page.
+    /// A receive processor with one free/receive ring pair per page and
+    /// detached counters (standalone use).
     pub fn new(cfg: RxConfig, layout: DpramLayout) -> Self {
+        RxProcessor::with_probe(cfg, layout, &Probe::detached())
+    }
+
+    /// A receive processor publishing its counters under `<scope>.rx`.
+    pub fn with_probe(cfg: RxConfig, layout: DpramLayout, probe: &Probe) -> Self {
         RxProcessor {
             cfg,
             engine: FifoResource::new("rx-80960"),
-            free_rings: (0..QUEUE_PAGES).map(|_| DescRing::new(layout.free_ring_slots)).collect(),
-            rx_rings: (0..QUEUE_PAGES).map(|_| DescRing::new(layout.rx_ring_slots)).collect(),
+            free_rings: (0..QUEUE_PAGES)
+                .map(|_| DescRing::new(layout.free_ring_slots))
+                .collect(),
+            rx_rings: (0..QUEUE_PAGES)
+                .map(|_| DescRing::new(layout.rx_ring_slots))
+                .collect(),
             vci_to_page: HashMap::new(),
             reassemblers: HashMap::new(),
             pdu_state: HashMap::new(),
             pending: None,
             pending_gen: 0,
             authorized: vec![None; QUEUE_PAGES],
-            violations: 0,
-            stats: RxStats::default(),
-            intr: InterruptStats::default(),
+            stats: RxCounters::with_probe(probe),
         }
     }
 
@@ -217,7 +268,7 @@ impl RxProcessor {
 
     /// Protection violations detected on free-buffer queues.
     pub fn violations(&self) -> u64 {
-        self.violations
+        self.stats.violations.get()
     }
 
     /// Host-side access to the free-buffer ring of `page`.
@@ -240,14 +291,38 @@ impl RxProcessor {
         &self.free_rings[page]
     }
 
-    /// Receive statistics.
-    pub fn stats(&self) -> &RxStats {
-        &self.stats
+    /// Receive statistics (a copy of the current counter values).
+    pub fn stats(&self) -> RxStats {
+        RxStats {
+            cells: self.stats.cells.get(),
+            pdus_delivered: self.stats.pdus_delivered.get(),
+            pdus_dropped_no_buffer: self.stats.pdus_dropped_no_buffer.get(),
+            pdus_crc_failed: self.stats.pdus_crc_failed.get(),
+            cells_rejected: self.stats.cells_rejected.get(),
+            dma_transactions: self.stats.dma_transactions.get(),
+            double_cell_merges: self.stats.double_cell_merges.get(),
+        }
     }
 
-    /// Interrupt statistics.
-    pub fn interrupt_stats(&self) -> &InterruptStats {
-        &self.intr
+    /// Interrupt statistics (a copy of the current counter values).
+    pub fn interrupt_stats(&self) -> InterruptStats {
+        InterruptStats {
+            rx_interrupts: self.stats.intr_raised.get() - self.stats.intr_suppressed.get(),
+            tx_interrupts: 0,
+            pdus_delivered: self.stats.pdus_delivered.get(),
+            violations: self.stats.violations.get(),
+        }
+    }
+
+    /// Interrupt opportunities seen by the receive half (pushes that a
+    /// fire-always policy would have interrupted on).
+    pub fn interrupts_raised(&self) -> u64 {
+        self.stats.intr_raised.get()
+    }
+
+    /// Opportunities the configured policy suppressed (§2.1.2).
+    pub fn interrupts_suppressed(&self) -> u64 {
+        self.stats.intr_suppressed.get()
     }
 
     /// When the receive engine next goes idle.
@@ -265,7 +340,7 @@ impl RxProcessor {
         cache: &mut DataCache,
         phys: &mut PhysMemory,
     ) -> RxOutcome {
-        self.stats.cells += 1;
+        self.stats.cells.incr();
         let mut out = RxOutcome::default();
 
         // Firmware budget for this cell.
@@ -273,9 +348,10 @@ impl RxProcessor {
             ReassemblyMode::InOrder => 0,
             _ => self.cfg.fw.rx_reorder_extra_cycles,
         };
-        let fw = self
-            .engine
-            .acquire(now, self.cfg.fw.clock.cycles(self.cfg.fw.rx_cell_cycles + extra));
+        let fw = self.engine.acquire(
+            now,
+            self.cfg.fw.clock.cycles(self.cfg.fw.rx_cell_cycles + extra),
+        );
         let t_fw = fw.finish;
 
         let vci = cell.header.vci;
@@ -289,13 +365,15 @@ impl RxProcessor {
         let disp: CellDisposition = match reasm.receive(lane, cell) {
             Ok(d) => d,
             Err(_) => {
-                self.stats.cells_rejected += 1;
+                self.stats.cells_rejected.incr();
                 return out;
             }
         };
 
         let key = (vci, disp.pdu);
-        self.pdu_state.entry(key).or_insert_with(|| PduBufState::new(page));
+        self.pdu_state
+            .entry(key)
+            .or_insert_with(|| PduBufState::new(page));
 
         // Store the payload unless the PDU is being shed.
         let poisoned = self.pdu_state[&key].poisoned;
@@ -310,8 +388,9 @@ impl RxProcessor {
             // The completion bookkeeping runs on the 80960 right after the
             // cell's own processing; the descriptor push additionally
             // waits for the payload DMA to land (t_done).
-            let pdu_fw =
-                self.engine.acquire(t_fw, self.cfg.fw.clock.cycles(self.cfg.fw.rx_pdu_cycles));
+            let pdu_fw = self
+                .engine
+                .acquire(t_fw, self.cfg.fw.clock.cycles(self.cfg.fw.rx_pdu_cycles));
             let t_pdu = pdu_fw.finish.max(t_done);
             let state = self.pdu_state.remove(&key).expect("state exists");
             if state.poisoned {
@@ -319,7 +398,7 @@ impl RxProcessor {
                 for d in state.bufs.into_iter().flatten().skip(state.pushed_upto) {
                     let _ = self.free_rings[state.page].push(d);
                 }
-                self.stats.pdus_dropped_no_buffer += 1;
+                self.stats.pdus_dropped_no_buffer.incr();
                 out.completed = Some(RxPduInfo {
                     vci,
                     pdu: disp.pdu,
@@ -330,10 +409,9 @@ impl RxProcessor {
             } else {
                 // Push the remaining buffers in order; EOP on the last.
                 self.finish_pdu(t_pdu, state, vci, complete.len, complete.crc_ok, &mut out);
-                self.stats.pdus_delivered += 1;
-                self.intr.pdus_delivered += 1;
+                self.stats.pdus_delivered.incr();
                 if !complete.crc_ok {
-                    self.stats.pdus_crc_failed += 1;
+                    self.stats.pdus_crc_failed.incr();
                 }
                 out.completed = Some(RxPduInfo {
                     vci,
@@ -421,16 +499,7 @@ impl RxProcessor {
 
             if self.cfg.dma_mode != DmaMode::SingleCell {
                 t_done = t_done.max(self.double_cell_store(
-                    t_fw,
-                    key,
-                    bi,
-                    addr,
-                    bytes,
-                    must_issue,
-                    mem,
-                    cache,
-                    phys,
-                    out,
+                    t_fw, key, bi, addr, bytes, must_issue, mem, cache, phys, out,
                 ));
             } else {
                 t_done = t_done.max(self.issue_dma(t_fw, addr, bytes, mem, cache, phys));
@@ -490,7 +559,7 @@ impl RxProcessor {
             if contiguous {
                 let mut merged = p.data;
                 merged.extend_from_slice(bytes);
-                self.stats.double_cell_merges += 1;
+                self.stats.double_cell_merges.incr();
                 if must_issue || merged.len() + CELL_MAX > cap {
                     return self.issue_dma(t_fw.max(p.ready), p.addr, &merged, mem, cache, phys);
                 }
@@ -498,8 +567,14 @@ impl RxProcessor {
                 self.pending_gen += 1;
                 let gen = self.pending_gen;
                 let ready = p.ready;
-                self.pending =
-                    Some(PendingDma { key, addr: p.addr, data: merged, buf_index: bi, gen, ready });
+                self.pending = Some(PendingDma {
+                    key,
+                    addr: p.addr,
+                    data: merged,
+                    buf_index: bi,
+                    gen,
+                    ready,
+                });
                 out.flush_deadline = Some((gen, t_fw + self.cfg.lookahead_window));
                 return t_fw;
             }
@@ -542,12 +617,17 @@ impl RxProcessor {
     ) -> SimTime {
         let mut t = at;
         let mut off = 0usize;
-        for xfer in plan_dma(self.cfg.dma_mode, addr, data.len() as u32, self.cfg.page_size) {
+        for xfer in plan_dma(
+            self.cfg.dma_mode,
+            addr,
+            data.len() as u32,
+            self.cfg.page_size,
+        ) {
             let g = mem.dma_write(t, xfer.len as u64);
             t = g.finish;
             cache.dma_write(phys, xfer.addr, &data[off..off + xfer.len as usize]);
             off += xfer.len as usize;
-            self.stats.dma_transactions += 1;
+            self.stats.dma_transactions.incr();
         }
         t
     }
@@ -574,11 +654,14 @@ impl RxProcessor {
                         let first = desc.addr.0 / ps;
                         let last = (desc.addr.0 + desc.len.max(1) as u64 - 1) / ps;
                         if (first..=last).any(|f| !frames.contains(&f)) {
-                            self.violations += 1;
+                            self.stats.violations.incr();
                             continue; // discard, try the next buffer
                         }
                     }
-                    debug_assert!(desc.len >= self.cfg.buffer_bytes, "undersized receive buffer");
+                    debug_assert!(
+                        desc.len >= self.cfg.buffer_bytes,
+                        "undersized receive buffer"
+                    );
                     self.pdu_state.get_mut(&key).expect("state exists").bufs[bi] = Some(desc);
                     return true;
                 }
@@ -604,14 +687,28 @@ impl RxProcessor {
         for bi in state.pushed_upto..n_bufs {
             let buf = state.bufs[bi].expect("filled buffer exists");
             let is_last = bi == n_bufs - 1;
-            let len = if is_last { pdu_len - bi as u32 * bb } else { bb };
-            let desc =
-                Descriptor { addr: buf.addr, len, vci, eop: is_last, err: is_last && !crc_ok };
+            let len = if is_last {
+                pdu_len - bi as u32 * bb
+            } else {
+                bb
+            };
+            let desc = Descriptor {
+                addr: buf.addr,
+                len,
+                vci,
+                eop: is_last,
+                err: is_last && !crc_ok,
+            };
             self.push_rx(t, page, desc, out);
         }
         // Over-allocated buffers (can happen when a shed/short PDU grabbed
         // more slots than its final length needed) go back to the free ring.
-        for d in state.bufs.into_iter().flatten().skip(n_bufs.max(state.pushed_upto)) {
+        for d in state
+            .bufs
+            .into_iter()
+            .flatten()
+            .skip(n_bufs.max(state.pushed_upto))
+        {
             let _ = self.free_rings[page].push(d);
         }
     }
@@ -628,12 +725,14 @@ impl RxProcessor {
             InterruptPolicy::PerPdu => desc.eop,
             InterruptPolicy::OnTransition => len_before == 0,
         };
+        self.stats.intr_raised.incr();
         if fire {
-            self.intr.rx_interrupts += 1;
             out.interrupt_at = Some(match out.interrupt_at {
                 Some(existing) => existing.min(t),
                 None => t,
             });
+        } else {
+            self.stats.intr_suppressed.incr();
         }
     }
 }
@@ -658,7 +757,12 @@ mod tests {
         // addresses (physically contiguous, as the paper's driver uses).
         for i in 0..32u64 {
             rx.free_ring_mut(0)
-                .push(Descriptor::tx(PhysAddr(0x10_0000 + i * 0x4000), 16 * 1024, Vci(0), false))
+                .push(Descriptor::tx(
+                    PhysAddr(0x10_0000 + i * 0x4000),
+                    16 * 1024,
+                    Vci(0),
+                    false,
+                ))
                 .unwrap();
         }
         Rig {
@@ -670,15 +774,20 @@ mod tests {
     }
 
     fn cells_for(data: &[u8], vci: Vci) -> Vec<Cell> {
-        Segmenter { framing: FramingMode::EndOfPdu, unit: SegmentUnit::Pdu }
-            .segment(vci, &[data])
+        Segmenter {
+            framing: FramingMode::EndOfPdu,
+            unit: SegmentUnit::Pdu,
+        }
+        .segment(vci, &[data])
     }
 
     fn feed(rig: &mut Rig, cells: &[Cell], start: SimTime) -> (Vec<RxOutcome>, SimTime) {
         let mut outs = Vec::new();
         let mut t = start;
         for c in cells {
-            let out = rig.rx.receive_cell(t, 0, c, &mut rig.mem, &mut rig.cache, &mut rig.phys);
+            let out = rig
+                .rx
+                .receive_cell(t, 0, c, &mut rig.mem, &mut rig.cache, &mut rig.phys);
             // Pace arrivals at link speed-ish to keep the engine realistic.
             t += SimDuration::from_ns(700);
             outs.push(out);
@@ -746,7 +855,12 @@ mod tests {
         r.rx.bind_vci(Vci(42), 3);
         for i in 0..4u64 {
             r.rx.free_ring_mut(3)
-                .push(Descriptor::tx(PhysAddr(0x20_0000 + i * 0x4000), 16 * 1024, Vci(0), false))
+                .push(Descriptor::tx(
+                    PhysAddr(0x20_0000 + i * 0x4000),
+                    16 * 1024,
+                    Vci(0),
+                    false,
+                ))
                 .unwrap();
         }
         let data = vec![1u8; 200];
@@ -820,7 +934,10 @@ mod tests {
         let info = outs.last().unwrap().completed.unwrap();
         assert!(!info.crc_ok);
         let pushed: Vec<_> = outs.iter().flat_map(|o| o.pushed.iter()).collect();
-        assert!(pushed.last().unwrap().2.err, "EOP descriptor must carry the error");
+        assert!(
+            pushed.last().unwrap().2.err,
+            "EOP descriptor must carry the error"
+        );
         assert_eq!(r.rx.stats().pdus_crc_failed, 1);
     }
 
@@ -835,7 +952,10 @@ mod tests {
         assert!(outs.last().unwrap().completed.unwrap().crc_ok);
         // 8 cells pair into 4 merges.
         assert_eq!(r.rx.stats().double_cell_merges, 4);
-        assert!(r.rx.stats().dma_transactions < 8, "fewer transactions than cells");
+        assert!(
+            r.rx.stats().dma_transactions < 8,
+            "fewer transactions than cells"
+        );
         // Data integrity preserved through merging.
         let pushed: Vec<_> = outs.iter().flat_map(|o| o.pushed.iter()).collect();
         assert_eq!(r.phys.read(pushed[0].2.addr, data.len()), &data[..]);
@@ -850,15 +970,24 @@ mod tests {
         // but feed only cell 0 and verify the pending flush path.
         let data = vec![8u8; 44 * 3];
         let cells = cells_for(&data, Vci(0));
-        let out =
-            r.rx.receive_cell(SimTime::ZERO, 0, &cells[0], &mut r.mem, &mut r.cache, &mut r.phys);
+        let out = r.rx.receive_cell(
+            SimTime::ZERO,
+            0,
+            &cells[0],
+            &mut r.mem,
+            &mut r.cache,
+            &mut r.phys,
+        );
         let (gen, deadline) = out.flush_deadline.expect("first cell must pend");
         assert!(out.pushed.is_empty());
         // Before the flush the bytes are NOT in host memory yet.
-        let flushed = r.rx.flush_pending(deadline, gen, &mut r.mem, &mut r.cache, &mut r.phys);
+        let flushed =
+            r.rx.flush_pending(deadline, gen, &mut r.mem, &mut r.cache, &mut r.phys);
         assert!(flushed);
         // A second flush with the same generation is a no-op.
-        assert!(!r.rx.flush_pending(deadline, gen, &mut r.mem, &mut r.cache, &mut r.phys));
+        assert!(!r
+            .rx
+            .flush_pending(deadline, gen, &mut r.mem, &mut r.cache, &mut r.phys));
     }
 
     #[test]
@@ -868,8 +997,14 @@ mod tests {
         let mut r = rig(cfg);
         let data = vec![8u8; 44 * 2];
         let cells = cells_for(&data, Vci(0));
-        let out1 =
-            r.rx.receive_cell(SimTime::ZERO, 0, &cells[0], &mut r.mem, &mut r.cache, &mut r.phys);
+        let out1 = r.rx.receive_cell(
+            SimTime::ZERO,
+            0,
+            &cells[0],
+            &mut r.mem,
+            &mut r.cache,
+            &mut r.phys,
+        );
         let (gen1, _) = out1.flush_deadline.unwrap();
         // Cell 1 (EOM) merges and clears the pending slot.
         let out2 = r.rx.receive_cell(
@@ -881,7 +1016,13 @@ mod tests {
             &mut r.phys,
         );
         assert!(out2.completed.is_some());
-        assert!(!r.rx.flush_pending(SimTime::from_us(9), gen1, &mut r.mem, &mut r.cache, &mut r.phys));
+        assert!(!r.rx.flush_pending(
+            SimTime::from_us(9),
+            gen1,
+            &mut r.mem,
+            &mut r.cache,
+            &mut r.phys
+        ));
     }
 
     #[test]

@@ -9,8 +9,8 @@
 //! it from two real threads (see `tests/` at the workspace root for the
 //! cross-thread stress test).
 
-use std::sync::atomic::{AtomicU32, Ordering};
 use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A fixed-capacity single-producer single-consumer ring of `T`.
 ///
@@ -36,9 +36,13 @@ impl<T> SpscRing<T> {
     /// A ring with `size` slots (capacity `size - 1`).
     pub fn new(size: u32) -> Self {
         assert!(size >= 2);
-        let slots: Vec<UnsafeCell<Option<T>>> =
-            (0..size).map(|_| UnsafeCell::new(None)).collect();
-        SpscRing { slots: slots.into_boxed_slice(), head: AtomicU32::new(0), tail: AtomicU32::new(0), size }
+        let slots: Vec<UnsafeCell<Option<T>>> = (0..size).map(|_| UnsafeCell::new(None)).collect();
+        SpscRing {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU32::new(0),
+            tail: AtomicU32::new(0),
+            size,
+        }
     }
 
     /// Usable capacity.

@@ -25,6 +25,7 @@ use std::collections::HashSet;
 use osiris_atm::sar::{FramingMode, SegmentUnit, Segmenter};
 use osiris_atm::{Cell, StripedLink, Vci};
 use osiris_mem::{MemorySystem, PhysBuffer, PhysMemory};
+use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::{Clock, FifoResource, SimTime};
 
 use crate::descriptor::{DescRing, Descriptor};
@@ -133,27 +134,38 @@ pub struct TxProcessor {
     priorities: Vec<u8>,
     host_waiting: Vec<bool>,
     authorized: Vec<Option<HashSet<u64>>>,
-    violations: u64,
+    violations: Counter,
     engine: FifoResource,
-    pdus_sent: u64,
-    cells_sent: u64,
-    bytes_sent: u64,
+    pdus_sent: Counter,
+    cells_sent: Counter,
+    bytes_sent: Counter,
+    wakeups: Counter,
 }
 
 impl TxProcessor {
-    /// A transmit processor with one ring per dual-port page.
+    /// A transmit processor with one ring per dual-port page and detached
+    /// counters (standalone use).
     pub fn new(cfg: TxConfig, layout: DpramLayout) -> Self {
+        TxProcessor::with_probe(cfg, layout, &Probe::detached())
+    }
+
+    /// A transmit processor publishing its counters under `<scope>.tx`.
+    pub fn with_probe(cfg: TxConfig, layout: DpramLayout, probe: &Probe) -> Self {
+        let p = probe.scoped("tx");
         TxProcessor {
             cfg,
-            queues: (0..QUEUE_PAGES).map(|_| DescRing::new(layout.tx_ring_slots)).collect(),
+            queues: (0..QUEUE_PAGES)
+                .map(|_| DescRing::new(layout.tx_ring_slots))
+                .collect(),
             priorities: vec![0; QUEUE_PAGES],
             host_waiting: vec![false; QUEUE_PAGES],
             authorized: vec![None; QUEUE_PAGES],
-            violations: 0,
+            violations: p.counter("violations"),
             engine: FifoResource::new("tx-80960"),
-            pdus_sent: 0,
-            cells_sent: 0,
-            bytes_sent: 0,
+            pdus_sent: p.counter("pdus_sent"),
+            cells_sent: p.counter("cells_sent"),
+            bytes_sent: p.counter("bytes_sent"),
+            wakeups: p.counter("wakeups"),
         }
     }
 
@@ -193,22 +205,27 @@ impl TxProcessor {
 
     /// Protection violations detected on transmit queues.
     pub fn violations(&self) -> u64 {
-        self.violations
+        self.violations.get()
     }
 
     /// PDUs transmitted over the processor's lifetime.
     pub fn pdus_sent(&self) -> u64 {
-        self.pdus_sent
+        self.pdus_sent.get()
     }
 
     /// Cells transmitted.
     pub fn cells_sent(&self) -> u64 {
-        self.cells_sent
+        self.cells_sent.get()
     }
 
     /// Data bytes transmitted.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
+        self.bytes_sent.get()
+    }
+
+    /// Full → half-empty wakeup interrupts raised (§2.1.2).
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.get()
     }
 
     /// When the transmit engine next goes idle.
@@ -256,8 +273,10 @@ impl TxProcessor {
                 (first..=last).any(|f| !frames.contains(&f))
             });
             if bad {
-                self.violations += 1;
-                let g = self.engine.acquire(now, self.cfg.fw.clock.cycles(self.cfg.fw.tx_pdu_cycles));
+                self.violations.incr();
+                let g = self
+                    .engine
+                    .acquire(now, self.cfg.fw.clock.cycles(self.cfg.fw.tx_pdu_cycles));
                 return Some(TxOutcome {
                     queue: q,
                     vci,
@@ -272,13 +291,17 @@ impl TxProcessor {
         }
 
         // Per-PDU firmware work.
-        let pdu_grant = self.engine.acquire(now, self.cfg.fw.clock.cycles(self.cfg.fw.tx_pdu_cycles));
+        let pdu_grant = self
+            .engine
+            .acquire(now, self.cfg.fw.clock.cycles(self.cfg.fw.tx_pdu_cycles));
         let mut fw_cursor = pdu_grant.finish;
 
         // Fetch plan: every physically contiguous piece, split by DMA mode
         // and the page-boundary-stop rule.
-        let pieces: Vec<PhysBuffer> =
-            chain.iter().map(|d| PhysBuffer::new(d.addr, d.len)).collect();
+        let pieces: Vec<PhysBuffer> = chain
+            .iter()
+            .map(|d| PhysBuffer::new(d.addr, d.len))
+            .collect();
         let mut fetch_done_at: Vec<(u64, SimTime)> = Vec::new(); // (cumulative bytes, time)
         let mut fetched = 0u64;
         for piece in &pieces {
@@ -290,10 +313,15 @@ impl TxProcessor {
         }
 
         // Gather the actual bytes (contents; timing handled above).
-        let buffers: Vec<Vec<u8>> =
-            chain.iter().map(|d| phys.read(d.addr, d.len as usize).to_vec()).collect();
+        let buffers: Vec<Vec<u8>> = chain
+            .iter()
+            .map(|d| phys.read(d.addr, d.len as usize).to_vec())
+            .collect();
         let slices: Vec<&[u8]> = buffers.iter().map(|b| b.as_slice()).collect();
-        let segmenter = Segmenter { framing: self.cfg.framing, unit: self.cfg.unit };
+        let segmenter = Segmenter {
+            framing: self.cfg.framing,
+            unit: self.cfg.unit,
+        };
         let cells = segmenter.segment(vci, &slices);
 
         // Launch cells: each needs its firmware slot and its bytes fetched.
@@ -302,8 +330,10 @@ impl TxProcessor {
         let mut fetch_idx = 0usize;
         let mut last_finish = fw_cursor;
         for (i, mut cell) in cells.into_iter().enumerate() {
-            let fw_grant =
-                self.engine.acquire(fw_cursor, self.cfg.fw.clock.cycles(self.cfg.fw.tx_cell_cycles));
+            let fw_grant = self.engine.acquire(
+                fw_cursor,
+                self.cfg.fw.clock.cycles(self.cfg.fw.tx_cell_cycles),
+            );
             fw_cursor = fw_grant.finish;
             data_cursor += cell.aal.fill as u64;
             while fetch_idx < fetch_done_at.len() && fetch_done_at[fetch_idx].0 < data_cursor {
@@ -315,18 +345,19 @@ impl TxProcessor {
                 .unwrap_or_else(|| fetch_done_at.last().map(|&(_, t)| t).unwrap_or(fw_cursor));
             let ready = fw_grant.finish.max(data_ready);
             last_finish = last_finish.max(ready);
-            self.cells_sent += 1;
+            self.cells_sent.incr();
             if let Some((lane, arrival)) = link.send_cell(ready, i as u32, &mut cell) {
                 arrivals.push((arrival, lane, cell));
             }
         }
 
-        self.pdus_sent += 1;
-        self.bytes_sent += pdu_bytes;
+        self.pdus_sent.incr();
+        self.bytes_sent.add(pdu_bytes);
 
         // Full → half-empty wakeup.
         let wake_host_at = if self.host_waiting[q] && self.queues[q].at_most_half_full() {
             self.host_waiting[q] = false;
+            self.wakeups.incr();
             Some(last_finish)
         } else {
             None
@@ -390,7 +421,9 @@ mod tests {
     #[test]
     fn no_work_returns_none() {
         let (mut tx, mut mem, phys, mut link) = setup();
-        assert!(tx.service(SimTime::ZERO, &mut mem, &phys, &mut link).is_none());
+        assert!(tx
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .is_none());
         assert!(!tx.has_work());
     }
 
@@ -400,14 +433,18 @@ mod tests {
         tx.queue_mut(0)
             .push(Descriptor::tx(PhysAddr(0x4000), 100, Vci(7), false))
             .unwrap();
-        assert!(tx.service(SimTime::ZERO, &mut mem, &phys, &mut link).is_none());
+        assert!(tx
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .is_none());
     }
 
     #[test]
     fn single_buffer_pdu_transmits_all_cells() {
         let (mut tx, mut mem, phys, mut link) = setup();
         queue_pdu(&mut tx, 0, &[(0x4000, 1000)], Vci(7));
-        let out = tx.service(SimTime::ZERO, &mut mem, &phys, &mut link).unwrap();
+        let out = tx
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .unwrap();
         assert_eq!(out.pdu_bytes, 1000);
         assert_eq!(out.arrivals.len(), 1000usize.div_ceil(44));
         assert_eq!(out.vci, Vci(7));
@@ -426,7 +463,9 @@ mod tests {
     fn chain_of_buffers_is_one_pdu() {
         let (mut tx, mut mem, phys, mut link) = setup();
         queue_pdu(&mut tx, 0, &[(0x4000, 100), (0x5000, 60)], Vci(3));
-        let out = tx.service(SimTime::ZERO, &mut mem, &phys, &mut link).unwrap();
+        let out = tx
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .unwrap();
         assert_eq!(out.pdu_bytes, 160);
         // Pdu unit: 160 bytes → 4 cells (44+44+44+28), spanning buffers.
         assert_eq!(out.arrivals.len(), 4);
@@ -456,11 +495,15 @@ mod tests {
         queue_pdu(&mut tx, 0, &[(0x4000, 44)], Vci(1));
         queue_pdu(&mut tx, 3, &[(0x5000, 44)], Vci(2));
         tx.set_priority(3, 9);
-        let out = tx.service(SimTime::ZERO, &mut mem, &phys, &mut link).unwrap();
+        let out = tx
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .unwrap();
         assert_eq!(out.queue, 3);
         assert_eq!(out.vci, Vci(2));
         assert!(out.more_work, "queue 0 still has a PDU");
-        let out2 = tx.service(out.finished_at, &mut mem, &phys, &mut link).unwrap();
+        let out2 = tx
+            .service(out.finished_at, &mut mem, &phys, &mut link)
+            .unwrap();
         assert_eq!(out2.queue, 0);
     }
 
@@ -488,7 +531,9 @@ mod tests {
         let (_, mut mem_a, phys, mut link_a) = setup();
         let mut tx_a = TxProcessor::new(TxConfig::paper_default(), DpramLayout::paper_default());
         queue_pdu(&mut tx_a, 0, &[(0x4000, 16 * 1024)], Vci(1));
-        let single = tx_a.service(SimTime::ZERO, &mut mem_a, &phys, &mut link_a).unwrap();
+        let single = tx_a
+            .service(SimTime::ZERO, &mut mem_a, &phys, &mut link_a)
+            .unwrap();
 
         let mut cfg = TxConfig::paper_default();
         cfg.dma_mode = DmaMode::DoubleCell;
@@ -496,7 +541,9 @@ mod tests {
         let mut mem_b = MemorySystem::new(BusSpec::ds5000_200());
         let mut link_b = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
         queue_pdu(&mut tx_b, 0, &[(0x4000, 16 * 1024)], Vci(1));
-        let double = tx_b.service(SimTime::ZERO, &mut mem_b, &phys, &mut link_b).unwrap();
+        let double = tx_b
+            .service(SimTime::ZERO, &mut mem_b, &phys, &mut link_b)
+            .unwrap();
 
         assert!(
             double.finished_at < single.finished_at,

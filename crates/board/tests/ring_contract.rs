@@ -1,6 +1,10 @@
 //! Cross-checks between the simulated lock-free ring (with its
 //! TURBOchannel cost accounting) and the real-atomics SPSC ring: the two
 //! implementations of the §2.1.1 discipline must agree on semantics.
+//!
+//! Requires the `proptest-tests` feature (and its dev-dependencies,
+//! which offline builds cannot fetch — see the manifest note).
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 

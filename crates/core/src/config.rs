@@ -8,6 +8,7 @@ use osiris_host::driver::CacheStrategy;
 use osiris_host::machine::MachineSpec;
 use osiris_host::wiring::WiringMode;
 use osiris_proto::wire::IP_HEADER_BYTES;
+use osiris_sim::SimConfig;
 
 /// Which protocol layer the test programs sit on (§4: the "ATM" rows talk
 /// straight to the driver; the "UDP/IP" rows run the full stack).
@@ -93,6 +94,8 @@ pub struct TestbedConfig {
     /// n-page payload usually occupies n+1 physical buffers plus one for
     /// the header.
     pub data_offset: u64,
+    /// Simulation-kernel observability sizing (trace ring, timeline).
+    pub sim: SimConfig,
 }
 
 impl TestbedConfig {
@@ -125,12 +128,16 @@ impl TestbedConfig {
             verify_data: true,
             touch: TouchMode::None,
             data_offset: 2048,
+            sim: SimConfig::default(),
         }
     }
 
     /// The same baseline on the raw-ATM layer (Table 1's "ATM" rows).
     pub fn ds5000_200_atm() -> Self {
-        TestbedConfig { layer: Layer::RawAtm, ..Self::ds5000_200_udp() }
+        TestbedConfig {
+            layer: Layer::RawAtm,
+            ..Self::ds5000_200_udp()
+        }
     }
 
     /// The DEC 3000/600 baseline: coherent cache, crossbar memory.
@@ -144,7 +151,10 @@ impl TestbedConfig {
 
     /// DEC 3000/600 on the raw-ATM layer.
     pub fn dec3000_600_atm() -> Self {
-        TestbedConfig { layer: Layer::RawAtm, ..Self::dec3000_600_udp() }
+        TestbedConfig {
+            layer: Layer::RawAtm,
+            ..Self::dec3000_600_udp()
+        }
     }
 
     /// Cells per message at the configured sizes (diagnostic).

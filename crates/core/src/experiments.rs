@@ -62,17 +62,22 @@ pub fn receive_throughput(cfg: &TestbedConfig) -> RxThroughputReport {
         }
     }
     let m = &sim.model;
-    assert!(m.done, "receive bench did not complete (size {})", cfg.msg_size);
+    assert!(
+        m.done,
+        "receive bench did not complete (size {})",
+        cfg.msg_size
+    );
     assert_eq!(m.verify_failures, 0, "payload corruption");
-    let node = &m.nodes[0];
-    let stats = node.rx.stats();
-    let intr = node.host.interrupts_taken();
-    let pdus = stats.pdus_delivered.max(1);
+    // All figures of merit come from the shared registry snapshot.
+    let snap = m.snapshot();
+    let intr = snap.counter("node0.host.interrupts_taken");
+    let pdus = snap.counter("node0.board.rx.pdus_delivered").max(1);
+    let cells = snap.counter("node0.board.rx.cells").max(1);
     RxThroughputReport {
         mbps: m.meter.mbps(),
         interrupts_per_pdu: intr as f64 / pdus as f64,
-        merge_ratio: stats.double_cell_merges as f64 / stats.cells.max(1) as f64,
-        dropped_pdus: stats.pdus_dropped_no_buffer,
+        merge_ratio: snap.counter("node0.board.rx.double_cell_merges") as f64 / cells as f64,
+        dropped_pdus: snap.counter("node0.board.rx.pdus_dropped_no_buffer"),
     }
 }
 
@@ -92,7 +97,11 @@ pub fn transmit_throughput(cfg: &TestbedConfig) -> f64 {
             break;
         }
     }
-    assert!(sim.model.done, "transmit bench did not complete (size {})", cfg.msg_size);
+    assert!(
+        sim.model.done,
+        "transmit bench did not complete (size {})",
+        cfg.msg_size
+    );
     sim.model.meter.mbps()
 }
 
@@ -158,8 +167,9 @@ pub fn skew_vs_merging(machine: MachineSpec) -> (f64, f64) {
             }
         }
         assert!(sim.model.done, "skew experiment did not complete");
-        let stats = sim.model.nodes[1].rx.stats();
-        stats.double_cell_merges as f64 / stats.cells.max(1) as f64
+        let snap = sim.model.snapshot();
+        snap.counter("node1.board.rx.double_cell_merges") as f64
+            / snap.counter("node1.board.rx.cells").max(1) as f64
     };
     (mk(false), mk(true))
 }
@@ -200,14 +210,19 @@ pub fn priority_under_overload(machine: MachineSpec, rounds: u64) -> OverloadRep
 
     let mut host = HostMachine::boot(machine, 17);
     let mut rx = RxProcessor::new(
-        RxConfig { buffer_bytes: 4096, ..RxConfig::paper_default() },
+        RxConfig {
+            buffer_bytes: 4096,
+            ..RxConfig::paper_default()
+        },
         DpramLayout::paper_default(),
     );
     let (hi_vci, lo_vci) = (Vci(100), Vci(101));
     let (hi_page, lo_page) = (1usize, 2usize);
     rx.bind_vci(hi_vci, hi_page);
     rx.bind_vci(lo_vci, lo_page);
-    let wiring = WiringService { mode: WiringMode::LowLevel };
+    let wiring = WiringService {
+        mode: WiringMode::LowLevel,
+    };
     let mut hi_drv = OsirisDriver::new(hi_page, 4096, CacheStrategy::Lazy, wiring);
     let mut lo_drv = OsirisDriver::new(lo_page, 4096, CacheStrategy::Lazy, wiring);
     hi_drv.provision_receive_buffers(SimTime::ZERO, &mut host, &mut rx, 8);
@@ -218,7 +233,10 @@ pub fn priority_under_overload(machine: MachineSpec, rounds: u64) -> OverloadRep
     let hi_thread = sched.spawn("drain-hi", 7);
     let lo_thread = sched.spawn("drain-lo", 1);
 
-    let seg = Segmenter { framing: FramingMode::EndOfPdu, unit: SegmentUnit::Pdu };
+    let seg = Segmenter {
+        framing: FramingMode::EndOfPdu,
+        unit: SegmentUnit::Pdu,
+    };
     let payload = vec![0x77u8; 2000];
     let mut t = SimTime::from_us(100);
     let mut report = OverloadReport {
@@ -233,7 +251,14 @@ pub fn priority_under_overload(machine: MachineSpec, rounds: u64) -> OverloadRep
         // Offer one PDU on each path.
         for vci in [hi_vci, lo_vci] {
             for cell in seg.segment(vci, &[&payload]) {
-                rx.receive_cell(t, 0, &cell, &mut host.mem_sys, &mut host.cache, &mut host.phys);
+                rx.receive_cell(
+                    t,
+                    0,
+                    &cell,
+                    &mut host.mem_sys,
+                    &mut host.cache,
+                    &mut host.phys,
+                );
             }
         }
         // The interrupt wakes both drain threads; the window before the
@@ -242,7 +267,9 @@ pub fn priority_under_overload(machine: MachineSpec, rounds: u64) -> OverloadRep
         let ti = host.take_interrupt(t).finish;
         sched.wake(hi_thread);
         sched.wake(lo_thread);
-        let (tid, g) = sched.dispatch(ti, &mut host).expect("runnable drain thread");
+        let (tid, g) = sched
+            .dispatch(ti, &mut host)
+            .expect("runnable drain thread");
         debug_assert_eq!(tid, hi_thread, "priority must pick the high path");
         let drained = hi_drv.drain_receive(g.finish, &mut host, &mut rx);
         for pdu in &drained.delivered {
@@ -255,7 +282,9 @@ pub fn priority_under_overload(machine: MachineSpec, rounds: u64) -> OverloadRep
     }
     // When the overload ends, the low-priority thread finally gets the
     // CPU and drains whatever the board still holds.
-    let (tid, g) = sched.dispatch(t, &mut host).expect("low thread still runnable");
+    let (tid, g) = sched
+        .dispatch(t, &mut host)
+        .expect("low thread still runnable");
     debug_assert_eq!(tid, lo_thread);
     let drained = lo_drv.drain_receive(g.finish, &mut host, &mut rx);
     sched.block(tid);
@@ -301,7 +330,8 @@ pub fn virtual_dma_setup_cost(machine: MachineSpec, data_pages: u64) -> (f64, f6
     let mut map = SgMap::new(256, machine.page_size as u64);
     let mut t = t0;
     for p in 0..n_buffers {
-        map.map_buffer(PhysBuffer::new(osiris_mem::PhysAddr(p * 4096), 4096)).unwrap();
+        map.map_buffer(PhysBuffer::new(osiris_mem::PhysAddr(p * 4096), 4096))
+            .unwrap();
         let g = host.mem_sys.pio_write(t, SgMap::PIO_WORDS_PER_ENTRY);
         t = g.finish;
     }
@@ -318,7 +348,7 @@ pub fn latency_budget(cfg: &TestbedConfig) -> Vec<(&'static str, f64)> {
     let mut cfg = cfg.clone();
     cfg.messages = 1;
     let mut tb = Testbed::new_pair(cfg);
-    tb.trace.set_enabled(true);
+    tb.timeline.set_enabled(true);
     let mut sim = Simulation::new(tb);
     sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
     loop {
@@ -330,31 +360,53 @@ pub fn latency_budget(cfg: &TestbedConfig) -> Vec<(&'static str, f64)> {
         }
     }
     assert!(sim.model.done, "budget ping did not complete");
-    // Stage boundaries on the forward (host 0 → host 1) direction.
-    let recs: Vec<(SimTime, String)> =
-        sim.model.trace.records().map(|(t, s)| (t, s.to_string())).collect();
-    let find = |needle: &str| recs.iter().find(|(_, s)| s.contains(needle)).map(|&(t, _)| t);
-    let send = find("app[0] send").expect("send");
-    let kick = find("tx[0] kick").expect("kick");
-    let first_cell = find("rx[1] cell").expect("cell");
-    let last_cell = recs
-        .iter()
-        .filter(|(_, s)| s.contains("rx[1] cell"))
-        .map(|&(t, _)| t)
+    // Stage boundaries on the forward (host 0 → host 1) direction, read
+    // off the typed timeline.
+    let tl = &sim.model.timeline;
+    let find = |track: &str, name: &str| {
+        tl.events()
+            .find(|e| e.track == track && e.name == name)
+            .map(|e| e.at)
+    };
+    let send = find("node0.app", "send").expect("send");
+    let kick = find("node0.board.tx", "kick").expect("kick");
+    let first_cell = find("node1.board.rx", "cell").expect("cell");
+    let last_cell = tl
+        .events()
+        .filter(|e| e.track == "node1.board.rx" && e.name == "cell")
+        .map(|e| e.at)
         .max()
         .expect("cells");
-    let intr = find("intr[1]").expect("interrupt");
-    let drain = find("drain[1]").expect("drain");
+    let intr = find("node1.host", "intr").expect("interrupt");
+    let drain = find("node1.host", "drain start").expect("drain");
     // The server's reply enqueues directly (no AppSend event); its first
     // transmit kick marks the end of host 1's inbound processing.
-    let reply = find("tx[1] kick").expect("server reply");
+    let reply = find("node1.board.tx", "kick").expect("server reply");
     vec![
-        ("app + protocol out + driver enqueue", kick.since(send).as_us_f64()),
-        ("board segmentation + DMA + first cell on wire", first_cell.since(kick).as_us_f64()),
-        ("remaining cells (DMA/link pipeline)", last_cell.since(first_cell).as_us_f64()),
-        ("interrupt assertion (reassembly tail)", intr.saturating_since(last_cell).as_us_f64()),
-        ("interrupt service + thread dispatch", drain.since(intr).as_us_f64()),
-        ("drain + protocol in + app delivery", reply.since(drain).as_us_f64()),
+        (
+            "app + protocol out + driver enqueue",
+            kick.since(send).as_us_f64(),
+        ),
+        (
+            "board segmentation + DMA + first cell on wire",
+            first_cell.since(kick).as_us_f64(),
+        ),
+        (
+            "remaining cells (DMA/link pipeline)",
+            last_cell.since(first_cell).as_us_f64(),
+        ),
+        (
+            "interrupt assertion (reassembly tail)",
+            intr.saturating_since(last_cell).as_us_f64(),
+        ),
+        (
+            "interrupt service + thread dispatch",
+            drain.since(intr).as_us_f64(),
+        ),
+        (
+            "drain + protocol in + app delivery",
+            reply.since(drain).as_us_f64(),
+        ),
     ]
 }
 
@@ -448,7 +500,10 @@ mod tests {
     #[test]
     fn overload_sheds_low_priority_on_the_board() {
         let r = priority_under_overload(MachineSpec::ds5000_200(), 20);
-        assert_eq!(r.hi_delivered, r.hi_offered, "high priority must not lose a PDU");
+        assert_eq!(
+            r.hi_delivered, r.hi_offered,
+            "high priority must not lose a PDU"
+        );
         assert!(
             r.lo_delivered < r.lo_offered,
             "overload must shed some low-priority traffic"
@@ -459,7 +514,10 @@ mod tests {
             r.lo_offered,
             "every low-priority PDU is either delivered or shed on the board"
         );
-        assert_eq!(r.host_work_for_shed, 0, "shedding must cost the host nothing");
+        assert_eq!(
+            r.host_work_for_shed, 0,
+            "shedding must cost the host nothing"
+        );
     }
 
     #[test]
@@ -484,7 +542,11 @@ mod tests {
         // One way of a ~740 us RTT: the stages must cover most of it.
         assert!((250.0..500.0).contains(&total), "budget total {total}");
         // The interrupt stage is the single 89 us block.
-        let intr = budget.iter().find(|(n, _)| n.contains("interrupt service")).unwrap().1;
+        let intr = budget
+            .iter()
+            .find(|(n, _)| n.contains("interrupt service"))
+            .unwrap()
+            .1;
         assert!((85.0..95.0).contains(&intr), "interrupt stage {intr}");
         assert!(budget.iter().all(|&(_, us)| us >= 0.0));
     }
@@ -493,8 +555,16 @@ mod tests {
     fn copy_is_the_worst_way_across_a_domain() {
         for m in [MachineSpec::ds5000_200(), MachineSpec::dec3000_600()] {
             let (copy, uncached, cached) = cross_domain_delivery(m, 16 * 1024);
-            assert!(copy > uncached, "{}: copy {copy} vs uncached {uncached}", m.name);
-            assert!(uncached > 10.0 * cached, "{}: {uncached} vs {cached}", m.name);
+            assert!(
+                copy > uncached,
+                "{}: copy {copy} vs uncached {uncached}",
+                m.name
+            );
+            assert!(
+                uncached > 10.0 * cached,
+                "{}: {uncached} vs {cached}",
+                m.name
+            );
         }
     }
 

@@ -1,6 +1,9 @@
-//! Paper-style text rendering for experiment results.
+//! Paper-style text rendering for experiment results, including
+//! renderers over the observability layer's registry [`Snapshot`]s.
 
 use std::fmt::Write as _;
+
+use osiris_sim::Snapshot;
 
 /// Renders a table with a header row and aligned columns.
 pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
@@ -14,15 +17,25 @@ pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let line: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+    let line: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
     let _ = writeln!(out, "{line}");
-    let hdr: Vec<String> =
-        header.iter().zip(&widths).map(|(h, w)| format!(" {h:>width$} ", width = w)).collect();
+    let hdr: Vec<String> = header
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!(" {h:>width$} ", width = w))
+        .collect();
     let _ = writeln!(out, "{}", hdr.join("|"));
     let _ = writeln!(out, "{line}");
     for row in rows {
-        let cells: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!(" {c:>width$} ", width = w)).collect();
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:>width$} ", width = w))
+            .collect();
         let _ = writeln!(out, "{}", cells.join("|"));
     }
     let _ = writeln!(out, "{line}");
@@ -105,9 +118,40 @@ pub fn ascii_plot(
     out
 }
 
+/// Renders every non-zero counter under `prefix` (a dotted registry
+/// scope, e.g. `node0.board.rx`) as an aligned two-column table.
+pub fn snapshot_counters(title: &str, snap: &Snapshot, prefix: &str) -> String {
+    let rows: Vec<Vec<String>> = snap
+        .counters
+        .iter()
+        .filter(|(k, &v)| {
+            v != 0
+                && (prefix.is_empty()
+                    || k.as_str() == prefix
+                    || (k.starts_with(prefix) && k[prefix.len()..].starts_with('.')))
+        })
+        .map(|(k, v)| vec![k.clone(), v.to_string()])
+        .collect();
+    table(title, &["counter", "value"], &rows)
+}
+
+/// Renders the §4 one-way-trip anatomy (`latency_budget` stages) as the
+/// `lessons` binary prints it: one indented row per stage.
+pub fn latency_anatomy(stages: &[(&str, f64)]) -> String {
+    let mut out = String::new();
+    for (stage, us) in stages {
+        let _ = writeln!(out, "  {stage:<46} {us:>7.1} us");
+    }
+    out
+}
+
 /// Formats `paper` vs `measured` with the ratio, for EXPERIMENTS.md rows.
 pub fn compare(label: &str, paper: f64, measured: f64) -> String {
-    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
     format!("{label:<44} paper {paper:>8.1}   measured {measured:>8.1}   ratio {ratio:>5.2}")
 }
 
@@ -147,7 +191,8 @@ mod tests {
     #[test]
     fn ascii_plot_places_every_series() {
         let plot = ascii_plot(
-            "Fig", "Mbps",
+            "Fig",
+            "Mbps",
             &[1, 2, 4],
             &["a", "b"],
             &[vec![100.0, 200.0, 300.0], vec![50.0, 150.0, 250.0]],

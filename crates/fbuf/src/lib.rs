@@ -40,6 +40,7 @@ use std::collections::VecDeque;
 
 use osiris_host::machine::HostMachine;
 use osiris_mem::PhysAddr;
+use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::resource::Grant;
 use osiris_sim::{SimDuration, SimTime};
 
@@ -110,7 +111,8 @@ struct PathQueue {
     bufs: VecDeque<Fbuf>,
 }
 
-/// fbuf allocation statistics.
+/// fbuf allocation statistics — a point-in-time copy of the allocator's
+/// registry counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FbufStats {
     /// Allocations served from a path's cached queue.
@@ -119,6 +121,25 @@ pub struct FbufStats {
     pub uncached_allocs: u64,
     /// Path-cache evictions (17th path pushes out the LRU).
     pub evictions: u64,
+}
+
+/// The allocator's registry-visible counters (scope `<probe>.fbuf`).
+#[derive(Debug, Clone)]
+struct FbufCounters {
+    cached_hits: Counter,
+    uncached_allocs: Counter,
+    evictions: Counter,
+}
+
+impl FbufCounters {
+    fn with_probe(probe: &Probe) -> Self {
+        let p = probe.scoped("fbuf");
+        FbufCounters {
+            cached_hits: p.counter("cached_hits"),
+            uncached_allocs: p.counter("uncached_allocs"),
+            evictions: p.counter("evictions"),
+        }
+    }
 }
 
 /// The driver's fbuf allocator: per-path cached queues (MRU-limited) plus
@@ -131,14 +152,27 @@ pub struct FbufAllocator {
     /// [`CACHED_PATHS`] of them.
     paths: Vec<PathQueue>,
     uncached: VecDeque<Fbuf>,
-    stats: FbufStats,
+    stats: FbufCounters,
 }
 
 impl FbufAllocator {
+    /// An allocator with detached counters (standalone use). See
+    /// [`FbufAllocator::with_probe`].
+    pub fn new(costs: FbufCosts, base: PhysAddr, buf_len: u32, pool: usize) -> Self {
+        FbufAllocator::with_probe(costs, base, buf_len, pool, &Probe::detached())
+    }
+
     /// An allocator over a preallocated pool of `pool` uncached fbufs of
     /// `buf_len` bytes each, carved from `base` (physically contiguous;
-    /// provisioning cost is a boot-time affair).
-    pub fn new(costs: FbufCosts, base: PhysAddr, buf_len: u32, pool: usize) -> Self {
+    /// provisioning cost is a boot-time affair), publishing its counters
+    /// under `<scope>.fbuf`.
+    pub fn with_probe(
+        costs: FbufCosts,
+        base: PhysAddr,
+        buf_len: u32,
+        pool: usize,
+        probe: &Probe,
+    ) -> Self {
         let uncached = (0..pool)
             .map(|i| Fbuf {
                 id: FbufId(i as u64),
@@ -147,12 +181,22 @@ impl FbufAllocator {
                 cached_for: None,
             })
             .collect();
-        FbufAllocator { costs, buf_len, paths: Vec::new(), uncached, stats: FbufStats::default() }
+        FbufAllocator {
+            costs,
+            buf_len,
+            paths: Vec::new(),
+            uncached,
+            stats: FbufCounters::with_probe(probe),
+        }
     }
 
-    /// Allocation statistics.
-    pub fn stats(&self) -> &FbufStats {
-        &self.stats
+    /// Allocation statistics (a copy of the current values).
+    pub fn stats(&self) -> FbufStats {
+        FbufStats {
+            cached_hits: self.stats.cached_hits.get(),
+            uncached_allocs: self.stats.uncached_allocs.get(),
+            evictions: self.stats.evictions.get(),
+        }
     }
 
     /// Buffer size.
@@ -175,13 +219,13 @@ impl FbufAllocator {
             let mut q = self.paths.remove(idx);
             if let Some(buf) = q.bufs.pop_front() {
                 self.paths.insert(0, q);
-                self.stats.cached_hits += 1;
+                self.stats.cached_hits.incr();
                 return Some((buf, FbufSource::Cached));
             }
             self.paths.insert(0, q);
         }
         let buf = self.uncached.pop_front()?;
-        self.stats.uncached_allocs += 1;
+        self.stats.uncached_allocs.incr();
         Some((buf, FbufSource::Uncached))
     }
 
@@ -200,13 +244,16 @@ impl FbufAllocator {
                 // New cached path: make room.
                 if self.paths.len() == CACHED_PATHS {
                     let evicted = self.paths.pop().expect("non-empty");
-                    self.stats.evictions += 1;
+                    self.stats.evictions.incr();
                     for mut b in evicted.bufs {
                         b.cached_for = None;
                         self.uncached.push_back(b);
                     }
                 }
-                let mut q = PathQueue { path, bufs: VecDeque::new() };
+                let mut q = PathQueue {
+                    path,
+                    bufs: VecDeque::new(),
+                };
                 q.bufs.push_back(buf);
                 self.paths.insert(0, q);
             }

@@ -35,7 +35,10 @@ pub struct Domain {
 impl Domain {
     /// A fresh domain with an empty address space.
     pub fn new(id: DomainId, page_size: usize) -> Self {
-        Domain { id, space: AddressSpace::new(page_size) }
+        Domain {
+            id,
+            space: AddressSpace::new(page_size),
+        }
     }
 }
 

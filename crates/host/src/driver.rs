@@ -25,6 +25,7 @@ use osiris_board::descriptor::{Descriptor, RingCosts};
 use osiris_board::rx::RxProcessor;
 use osiris_board::tx::TxProcessor;
 use osiris_mem::{AddressSpace, PhysBuffer, VirtAddr};
+use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::{SimDuration, SimTime};
 
 use crate::machine::HostMachine;
@@ -43,7 +44,8 @@ pub enum CacheStrategy {
     HardwareCoherent,
 }
 
-/// Driver counters.
+/// Driver counters — a point-in-time copy of the driver's registry
+/// counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DriverStats {
     /// PDUs queued for transmission.
@@ -105,16 +107,61 @@ pub struct OsirisDriver {
     pub page: usize,
     buffer_bytes: u32,
     partial: HashMap<Vci, Vec<Descriptor>>,
-    stats: DriverStats,
+    stats: DriverCounters,
+}
+
+/// The driver's registry-visible counters (scope `<probe>.driver`).
+#[derive(Debug, Clone)]
+struct DriverCounters {
+    pdus_sent: Counter,
+    tx_buffers: Counter,
+    tx_blocks: Counter,
+    pdus_received: Counter,
+    rx_buffers: Counter,
+    err_pdus: Counter,
+    recycled: Counter,
+}
+
+impl DriverCounters {
+    fn with_probe(probe: &Probe) -> Self {
+        let p = probe.scoped("driver");
+        DriverCounters {
+            pdus_sent: p.counter("pdus_sent"),
+            tx_buffers: p.counter("tx_buffers"),
+            tx_blocks: p.counter("tx_blocks"),
+            pdus_received: p.counter("pdus_received"),
+            rx_buffers: p.counter("rx_buffers"),
+            err_pdus: p.counter("err_pdus"),
+            recycled: p.counter("recycled"),
+        }
+    }
 }
 
 impl OsirisDriver {
-    /// A driver for `page` using `buffer_bytes` receive buffers.
+    /// A driver for `page` using `buffer_bytes` receive buffers, with
+    /// detached counters (standalone use).
     pub fn new(
         page: usize,
         buffer_bytes: u32,
         cache_strategy: CacheStrategy,
         wiring: WiringService,
+    ) -> Self {
+        OsirisDriver::with_probe(
+            page,
+            buffer_bytes,
+            cache_strategy,
+            wiring,
+            &Probe::detached(),
+        )
+    }
+
+    /// A driver publishing its counters under `<scope>.driver`.
+    pub fn with_probe(
+        page: usize,
+        buffer_bytes: u32,
+        cache_strategy: CacheStrategy,
+        wiring: WiringService,
+        probe: &Probe,
     ) -> Self {
         OsirisDriver {
             cache_strategy,
@@ -122,13 +169,21 @@ impl OsirisDriver {
             page,
             buffer_bytes,
             partial: HashMap::new(),
-            stats: DriverStats::default(),
+            stats: DriverCounters::with_probe(probe),
         }
     }
 
-    /// Driver counters.
-    pub fn stats(&self) -> &DriverStats {
-        &self.stats
+    /// Driver counters (a copy of the current values).
+    pub fn stats(&self) -> DriverStats {
+        DriverStats {
+            pdus_sent: self.stats.pdus_sent.get(),
+            tx_buffers: self.stats.tx_buffers.get(),
+            tx_blocks: self.stats.tx_blocks.get(),
+            pdus_received: self.stats.pdus_received.get(),
+            rx_buffers: self.stats.rx_buffers.get(),
+            err_pdus: self.stats.err_pdus.get(),
+            recycled: self.stats.recycled.get(),
+        }
     }
 
     /// Allocates `count` physically contiguous, permanently wired receive
@@ -175,7 +230,10 @@ impl OsirisDriver {
 
         // §2.4: pin the pages (amortised; re-wiring is free).
         if let Some((asp, va, len)) = wire {
-            let (g, _) = self.wiring.wire(t, host, asp, va, len).expect("wiring unmapped PDU");
+            let (g, _) = self
+                .wiring
+                .wire(t, host, asp, va, len)
+                .expect("wiring unmapped PDU");
             t = g.finish;
         }
 
@@ -184,9 +242,12 @@ impl OsirisDriver {
         let (_, check_cost) = ring.producer_check();
         t = self.charge_ring(t, host, check_cost);
         if (ring.capacity() - ring.len()) < buffers.len() as u32 {
-            self.stats.tx_blocks += 1;
+            self.stats.tx_blocks.incr();
             tx.set_host_waiting(self.page);
-            return SendOutcome { queued_at: t, blocked: true };
+            return SendOutcome {
+                queued_at: t,
+                blocked: true,
+            };
         }
 
         // Per-PDU and per-buffer driver work (§2.2's multiplier).
@@ -195,12 +256,18 @@ impl OsirisDriver {
         for (i, b) in buffers.iter().enumerate() {
             t = host.run_software(t, host.spec.costs.driver_buffer).finish;
             let d = Descriptor::tx(b.addr, b.len, vci, i == n - 1);
-            let cost = tx.queue_mut(self.page).push(d).expect("space checked above");
+            let cost = tx
+                .queue_mut(self.page)
+                .push(d)
+                .expect("space checked above");
             t = self.charge_ring(t, host, cost);
-            self.stats.tx_buffers += 1;
+            self.stats.tx_buffers.incr();
         }
-        self.stats.pdus_sent += 1;
-        SendOutcome { queued_at: t, blocked: false }
+        self.stats.pdus_sent.incr();
+        SendOutcome {
+            queued_at: t,
+            blocked: false,
+        }
     }
 
     /// Drains this page's receive ring: called from the thread the
@@ -224,11 +291,13 @@ impl OsirisDriver {
             let (desc, cost) = rx.rx_ring_mut(self.page).pop().expect("checked non-empty");
             t = self.charge_ring(t, host, cost);
             t = host.run_software(t, host.spec.costs.driver_buffer).finish;
-            self.stats.rx_buffers += 1;
+            self.stats.rx_buffers.incr();
 
             // §2.3: cache strategy, charged per buffer before delivery.
             if self.cache_strategy == CacheStrategy::Eager {
-                t = host.invalidate_cache(t, desc.addr, desc.len as usize).finish;
+                t = host
+                    .invalidate_cache(t, desc.addr, desc.len as usize)
+                    .finish;
             }
 
             let chain = self.partial.entry(desc.vci).or_default();
@@ -238,12 +307,17 @@ impl OsirisDriver {
                 t = host.run_software(t, host.spec.costs.driver_pdu).finish;
                 if desc.err {
                     // Board-flagged CRC failure: recycle, never deliver.
-                    self.stats.err_pdus += 1;
+                    self.stats.err_pdus.incr();
                     t = self.recycle(t, host, rx, &bufs);
                 } else {
                     let len = bufs.iter().map(|d| d.len).sum();
-                    self.stats.pdus_received += 1;
-                    out.delivered.push(DeliveredPdu { vci: desc.vci, bufs, len, ready_at: t });
+                    self.stats.pdus_received.incr();
+                    out.delivered.push(DeliveredPdu {
+                        vci: desc.vci,
+                        bufs,
+                        len,
+                        ready_at: t,
+                    });
                 }
             }
         }
@@ -269,7 +343,7 @@ impl OsirisDriver {
                 .push(fresh)
                 .expect("free ring cannot overflow: buffers are conserved");
             t = self.charge_ring(t, host, cost);
-            self.stats.recycled += 1;
+            self.stats.recycled.incr();
         }
         t
     }
@@ -312,9 +386,10 @@ pub fn pio_receive(now: SimTime, host: &mut HostMachine, bytes: u64) -> SimTime 
     host.cpu.acquire(g.start, g.finish.since(g.start));
     // Write the data to the app buffer (write-through traffic).
     let w = host.mem_sys.cpu_mem_access(g.finish, words * 4);
-    let c = host.run_cpu(g.finish, SimDuration::from_ps(
-        host.spec.cpu_clock.cycles(words).as_ps(),
-    ));
+    let c = host.run_cpu(
+        g.finish,
+        SimDuration::from_ps(host.spec.cpu_clock.cycles(words).as_ps()),
+    );
     w.finish.max(c.finish)
 }
 
@@ -346,16 +421,26 @@ mod tests {
             0,
             16 * 1024,
             CacheStrategy::Lazy,
-            WiringService { mode: WiringMode::LowLevel },
+            WiringService {
+                mode: WiringMode::LowLevel,
+            },
         );
         let link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
-        Rig { host, tx, rx, drv, link }
+        Rig {
+            host,
+            tx,
+            rx,
+            drv,
+            link,
+        }
     }
 
     #[test]
     fn provisioning_fills_free_ring() {
         let mut r = rig();
-        let t = r.drv.provision_receive_buffers(SimTime::ZERO, &mut r.host, &mut r.rx, 16);
+        let t = r
+            .drv
+            .provision_receive_buffers(SimTime::ZERO, &mut r.host, &mut r.rx, 16);
         assert_eq!(r.rx.free_ring(0).len(), 16);
         assert!(t > SimTime::ZERO, "provisioning costs TURBOchannel stores");
     }
@@ -363,9 +448,13 @@ mod tests {
     #[test]
     fn send_queues_descriptor_chain() {
         let mut r = rig();
-        let bufs =
-            [PhysBuffer::new(PhysAddr(0x8000), 3000), PhysBuffer::new(PhysAddr(0x10000), 1096)];
-        let out = r.drv.send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(9), &bufs, None);
+        let bufs = [
+            PhysBuffer::new(PhysAddr(0x8000), 3000),
+            PhysBuffer::new(PhysAddr(0x10000), 1096),
+        ];
+        let out = r
+            .drv
+            .send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(9), &bufs, None);
         assert!(!out.blocked);
         assert_eq!(r.tx.queue(0).len(), 2);
         let descs: Vec<_> = r.tx.queue(0).iter_live().copied().collect();
@@ -373,7 +462,12 @@ mod tests {
         assert!(descs[1].eop);
         assert_eq!(r.drv.stats().pdus_sent, 1);
         // The board can now transmit it.
-        let t = r.tx.service(out.queued_at, &mut r.host.mem_sys, &r.host.phys, &mut r.link);
+        let t = r.tx.service(
+            out.queued_at,
+            &mut r.host.mem_sys,
+            &r.host.phys,
+            &mut r.link,
+        );
         assert_eq!(t.unwrap().pdu_bytes, 4096);
     }
 
@@ -384,7 +478,9 @@ mod tests {
         let mut t = SimTime::ZERO;
         let mut blocked = false;
         for _ in 0..70 {
-            let out = r.drv.send_pdu(t, &mut r.host, &mut r.tx, Vci(1), &buf, None);
+            let out = r
+                .drv
+                .send_pdu(t, &mut r.host, &mut r.tx, Vci(1), &buf, None);
             t = out.queued_at;
             if out.blocked {
                 blocked = true;
@@ -428,15 +524,22 @@ mod tests {
     #[test]
     fn loopback_send_receive_roundtrip() {
         let mut r = rig();
-        r.drv.provision_receive_buffers(SimTime::ZERO, &mut r.host, &mut r.rx, 8);
+        r.drv
+            .provision_receive_buffers(SimTime::ZERO, &mut r.host, &mut r.rx, 8);
         // Place a message in memory.
         let msg: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
         r.host.phys.write(PhysAddr(0x10_0000), &msg);
         let bufs = [PhysBuffer::new(PhysAddr(0x10_0000), 5000)];
-        let out = r.drv.send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(7), &bufs, None);
-        let txo = r
-            .tx
-            .service(out.queued_at, &mut r.host.mem_sys, &r.host.phys, &mut r.link)
+        let out = r
+            .drv
+            .send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(7), &bufs, None);
+        let txo =
+            r.tx.service(
+                out.queued_at,
+                &mut r.host.mem_sys,
+                &r.host.phys,
+                &mut r.link,
+            )
             .expect("PDU queued");
         // Feed arrivals into the same host's rx half (loopback).
         let mut intr_at = None;
@@ -464,7 +567,8 @@ mod tests {
         assert_eq!(r.host.phys.read(d.addr, 5000), &msg[..]);
         // Recycle returns the buffer to the free ring.
         let before = r.rx.free_ring(0).len();
-        r.drv.recycle(drained.finished_at, &mut r.host, &mut r.rx, &pdu.bufs);
+        r.drv
+            .recycle(drained.finished_at, &mut r.host, &mut r.rx, &pdu.bufs);
         assert_eq!(r.rx.free_ring(0).len(), before + 1);
     }
 
@@ -475,13 +579,22 @@ mod tests {
         fn run(strategy: CacheStrategy) -> SimDuration {
             let mut r = rig();
             r.drv.cache_strategy = strategy;
-            r.drv.provision_receive_buffers(SimTime::ZERO, &mut r.host, &mut r.rx, 8);
+            r.drv
+                .provision_receive_buffers(SimTime::ZERO, &mut r.host, &mut r.rx, 8);
             let msg = vec![1u8; 16 * 1024 - 100];
             r.host.phys.write(PhysAddr(0x10_0000), &msg);
             let bufs = [PhysBuffer::new(PhysAddr(0x10_0000), msg.len() as u32)];
-            let out = r.drv.send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(1), &bufs, None);
+            let out = r
+                .drv
+                .send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(1), &bufs, None);
             let txo =
-                r.tx.service(out.queued_at, &mut r.host.mem_sys, &r.host.phys, &mut r.link).unwrap();
+                r.tx.service(
+                    out.queued_at,
+                    &mut r.host.mem_sys,
+                    &r.host.phys,
+                    &mut r.link,
+                )
+                .unwrap();
             for (at, lane, cell) in &txo.arrivals {
                 r.rx.receive_cell(
                     *at,
@@ -508,13 +621,22 @@ mod tests {
     #[test]
     fn board_flagged_crc_error_is_recycled_not_delivered() {
         let mut r = rig();
-        r.drv.provision_receive_buffers(SimTime::ZERO, &mut r.host, &mut r.rx, 8);
+        r.drv
+            .provision_receive_buffers(SimTime::ZERO, &mut r.host, &mut r.rx, 8);
         let msg = vec![5u8; 2000];
         r.host.phys.write(PhysAddr(0x10_0000), &msg);
         let bufs = [PhysBuffer::new(PhysAddr(0x10_0000), 2000)];
-        let out = r.drv.send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(1), &bufs, None);
+        let out = r
+            .drv
+            .send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(1), &bufs, None);
         let txo =
-            r.tx.service(out.queued_at, &mut r.host.mem_sys, &r.host.phys, &mut r.link).unwrap();
+            r.tx.service(
+                out.queued_at,
+                &mut r.host.mem_sys,
+                &r.host.phys,
+                &mut r.link,
+            )
+            .unwrap();
         let free_before = r.rx.free_ring(0).len();
         for (i, (at, lane, cell)) in txo.arrivals.iter().enumerate() {
             let mut cell = cell.clone();
@@ -530,7 +652,11 @@ mod tests {
                 &mut r.host.phys,
             );
         }
-        let o = r.drv.drain_receive(txo.finished_at + SimDuration::from_ms(1), &mut r.host, &mut r.rx);
+        let o = r.drv.drain_receive(
+            txo.finished_at + SimDuration::from_ms(1),
+            &mut r.host,
+            &mut r.rx,
+        );
         assert!(o.delivered.is_empty());
         assert_eq!(r.drv.stats().err_pdus, 1);
         assert_eq!(r.rx.free_ring(0).len(), free_before, "buffer recycled");

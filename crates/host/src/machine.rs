@@ -19,6 +19,7 @@
 use osiris_mem::{
     AllocPolicy, BusSpec, CacheSpec, DataCache, FrameAllocator, MemorySystem, PhysAddr, PhysMemory,
 };
+use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::resource::Grant;
 use osiris_sim::{Clock, FifoResource, SimDuration, SimTime};
 
@@ -143,7 +144,8 @@ pub struct HostMachine {
     pub alloc: FrameAllocator,
     /// The CPU as a serially shared resource.
     pub cpu: FifoResource,
-    interrupts_taken: u64,
+    interrupts_taken: Counter,
+    invalidated_words: Counter,
 }
 
 /// Result of a CPU read through the cache: when it finished and how many
@@ -157,17 +159,26 @@ pub struct ReadResult {
 }
 
 impl HostMachine {
-    /// Boots a machine: zeroed memory, cold cache, fragmented allocator.
+    /// Boots a machine: zeroed memory, cold cache, fragmented allocator,
+    /// detached counters (standalone use).
     pub fn boot(spec: MachineSpec, alloc_seed: u64) -> Self {
+        HostMachine::boot_with_probe(spec, alloc_seed, &Probe::detached())
+    }
+
+    /// Boots a machine whose memory system publishes under `<scope>.bus`
+    /// and whose own counters publish under `<scope>.host`.
+    pub fn boot_with_probe(spec: MachineSpec, alloc_seed: u64, probe: &Probe) -> Self {
         let phys = PhysMemory::new(spec.mem_bytes, spec.page_size);
         let alloc = FrameAllocator::new(&phys, AllocPolicy::Scattered, alloc_seed);
+        let p = probe.scoped("host");
         HostMachine {
-            mem_sys: MemorySystem::new(spec.bus),
+            mem_sys: MemorySystem::with_probe(spec.bus, probe),
             cache: DataCache::new(spec.cache),
             phys,
             alloc,
             cpu: FifoResource::new("host-cpu"),
-            interrupts_taken: 0,
+            interrupts_taken: p.counter("interrupts_taken"),
+            invalidated_words: p.counter("invalidated_words"),
             spec,
         }
     }
@@ -192,13 +203,17 @@ impl HostMachine {
             // The traffic lands on the bus over the same interval; model
             // it as one reservation of the aggregate duration.
             let m = match self.spec.bus.topology {
-                osiris_mem::MemTopology::SharedBus => {
-                    Some(self.mem_sys.pio_like_mem(g.start, SimDuration::from_ps(mem_ps)))
-                }
+                osiris_mem::MemTopology::SharedBus => Some(
+                    self.mem_sys
+                        .pio_like_mem(g.start, SimDuration::from_ps(mem_ps)),
+                ),
                 osiris_mem::MemTopology::Crossbar => None,
             };
             if let Some(mg) = m {
-                return Grant { start: g.start, finish: g.finish.max(mg.finish) };
+                return Grant {
+                    start: g.start,
+                    finish: g.finish.max(mg.finish),
+                };
             }
         }
         g
@@ -206,13 +221,13 @@ impl HostMachine {
 
     /// Fields one board interrupt: charges the handler cost and counts it.
     pub fn take_interrupt(&mut self, now: SimTime) -> Grant {
-        self.interrupts_taken += 1;
+        self.interrupts_taken.incr();
         self.run_software(now, self.spec.costs.interrupt_service)
     }
 
     /// Interrupts fielded so far.
     pub fn interrupts_taken(&self) -> u64 {
-        self.interrupts_taken
+        self.interrupts_taken.get()
     }
 
     /// CPU read of `buf.len()` bytes at `addr` through the cache, charging
@@ -232,7 +247,10 @@ impl HostMachine {
             cpu_grant.finish
         };
         ReadResult {
-            grant: Grant { start: cpu_grant.start, finish },
+            grant: Grant {
+                start: cpu_grant.start,
+                finish,
+            },
             stale_bytes: access.stale_bytes,
         }
     }
@@ -246,7 +264,10 @@ impl HostMachine {
         // Write-through: one memory transaction per small burst; model as
         // a single burst of `words` words (write buffers coalesce).
         let g = self.mem_sys.cpu_mem_access(now, words * 4);
-        Grant { start: cpu_grant.start, finish: cpu_grant.finish.max(g.finish) }
+        Grant {
+            start: cpu_grant.start,
+            finish: cpu_grant.finish.max(g.finish),
+        }
     }
 
     /// Computes the Internet checksum of `len` bytes at `addr` **through
@@ -258,12 +279,17 @@ impl HostMachine {
         let mut buf = vec![0u8; len];
         let rr = self.cpu_read(now, addr, &mut buf);
         let words = (len as u64).div_ceil(4);
-        let arith =
-            self.run_cpu(rr.grant.finish, self.spec.cpu_clock.cycles(
-                words * self.spec.costs.checksum_cycles_per_word,
-            ));
+        let arith = self.run_cpu(
+            rr.grant.finish,
+            self.spec
+                .cpu_clock
+                .cycles(words * self.spec.costs.checksum_cycles_per_word),
+        );
         (
-            Grant { start: rr.grant.start, finish: arith.finish },
+            Grant {
+                start: rr.grant.start,
+                finish: arith.finish,
+            },
             internet_checksum(&buf),
             rr.stale_bytes,
         )
@@ -273,6 +299,7 @@ impl HostMachine {
     /// cycle per word.
     pub fn invalidate_cache(&mut self, now: SimTime, addr: PhysAddr, len: usize) -> Grant {
         let words = self.cache.invalidate(addr, len);
+        self.invalidated_words.add(words);
         self.run_cycles(now, words * self.spec.costs.invalidate_cycles_per_word)
     }
 }
@@ -327,7 +354,10 @@ mod tests {
         let warm = h.cpu_read(cold.grant.finish, PhysAddr(0x1000), &mut buf);
         let cold_t = cold.grant.finish.since(cold.grant.start);
         let warm_t = warm.grant.finish.since(warm.grant.start);
-        assert!(warm_t < cold_t, "cached read must be faster: {warm_t} vs {cold_t}");
+        assert!(
+            warm_t < cold_t,
+            "cached read must be faster: {warm_t} vs {cold_t}"
+        );
     }
 
     #[test]
@@ -338,7 +368,10 @@ mod tests {
         let len = 64 * 1024;
         let (g, _ck, _stale) = h.checksum(SimTime::ZERO, PhysAddr(0), len);
         let mbps = g.finish.since(g.start).mbps_for_bytes(len as u64);
-        assert!((60.0..120.0).contains(&mbps), "checksum rate {mbps} Mbps out of band");
+        assert!(
+            (60.0..120.0).contains(&mbps),
+            "checksum rate {mbps} Mbps out of band"
+        );
     }
 
     #[test]
@@ -358,7 +391,10 @@ mod tests {
         let mut h = HostMachine::boot(MachineSpec::ds5000_200(), 1);
         h.phys.write(PhysAddr(0x2000), &[1u8; 64]);
         let mut buf = [0u8; 64];
-        let t0 = h.cpu_read(SimTime::ZERO, PhysAddr(0x2000), &mut buf).grant.finish;
+        let t0 = h
+            .cpu_read(SimTime::ZERO, PhysAddr(0x2000), &mut buf)
+            .grant
+            .finish;
         // Incoherent DMA overwrites memory behind the cache's back.
         let data = [2u8; 64];
         h.cache.dma_write(&mut h.phys, PhysAddr(0x2000), &data);
@@ -387,9 +423,13 @@ mod tests {
         let mut h = HostMachine::boot(MachineSpec::ds5000_200(), 1);
         h.phys.write(PhysAddr(0x3000), &[0xAAu8; 128]);
         let mut buf = [0u8; 128];
-        let t = h.cpu_read(SimTime::ZERO, PhysAddr(0x3000), &mut buf).grant.finish;
+        let t = h
+            .cpu_read(SimTime::ZERO, PhysAddr(0x3000), &mut buf)
+            .grant
+            .finish;
         let (_, ck_before, _) = h.checksum(t, PhysAddr(0x3000), 128);
-        h.cache.dma_write(&mut h.phys, PhysAddr(0x3000), &[0x55u8; 128]);
+        h.cache
+            .dma_write(&mut h.phys, PhysAddr(0x3000), &[0x55u8; 128]);
         let (_, ck_stale, stale) = h.checksum(t, PhysAddr(0x3000), 128);
         assert_eq!(ck_stale, ck_before, "checksum computed over stale bytes");
         assert!(stale > 0);

@@ -68,7 +68,12 @@ impl Scheduler {
         self.next_id += 1;
         self.threads.insert(
             id,
-            Thread { name, priority, state: ThreadState::Blocked, dispatches: 0 },
+            Thread {
+                name,
+                priority,
+                state: ThreadState::Blocked,
+                dispatches: 0,
+            },
         );
         id
     }
@@ -107,11 +112,7 @@ impl Scheduler {
     /// charges the context switch on the CPU, and marks it running.
     /// Returns the thread and the grant covering the switch.
     pub fn dispatch(&mut self, now: SimTime, host: &mut HostMachine) -> Option<(ThreadId, Grant)> {
-        let id = self
-            .queues
-            .iter_mut()
-            .rev()
-            .find_map(|q| q.pop_front())?;
+        let id = self.queues.iter_mut().rev().find_map(|q| q.pop_front())?;
         let t = self.threads.get_mut(&id).expect("queued thread exists");
         t.state = ThreadState::Running;
         t.dispatches += 1;
@@ -123,7 +124,11 @@ impl Scheduler {
     /// The running thread goes back to sleep (its work item finished).
     pub fn block(&mut self, id: ThreadId) {
         let t = self.threads.get_mut(&id).expect("unknown thread");
-        assert_eq!(t.state, ThreadState::Running, "only the running thread blocks");
+        assert_eq!(
+            t.state,
+            ThreadState::Running,
+            "only the running thread blocks"
+        );
         t.state = ThreadState::Blocked;
     }
 

@@ -100,15 +100,23 @@ mod tests {
     fn mach_standard_is_much_slower() {
         let (mut h, mut asp) = setup();
         let r = asp.alloc_and_map(4 * 4096, &mut h.alloc).unwrap();
-        let std_svc = WiringService { mode: WiringMode::MachStandard };
-        let (g1, n1) = std_svc.wire(SimTime::ZERO, &mut h, &mut asp, r.base, r.len).unwrap();
+        let std_svc = WiringService {
+            mode: WiringMode::MachStandard,
+        };
+        let (g1, n1) = std_svc
+            .wire(SimTime::ZERO, &mut h, &mut asp, r.base, r.len)
+            .unwrap();
         assert_eq!(n1, 4);
         let t_std = g1.finish.since(g1.start);
 
         let (mut h2, mut asp2) = setup();
         let r2 = asp2.alloc_and_map(4 * 4096, &mut h2.alloc).unwrap();
-        let low = WiringService { mode: WiringMode::LowLevel };
-        let (g2, _) = low.wire(SimTime::ZERO, &mut h2, &mut asp2, r2.base, r2.len).unwrap();
+        let low = WiringService {
+            mode: WiringMode::LowLevel,
+        };
+        let (g2, _) = low
+            .wire(SimTime::ZERO, &mut h2, &mut asp2, r2.base, r2.len)
+            .unwrap();
         let t_low = g2.finish.since(g2.start);
         assert!(t_std.as_ps() >= 5 * t_low.as_ps(), "{t_std} vs {t_low}");
     }
@@ -117,10 +125,16 @@ mod tests {
     fn rewiring_wired_pages_is_free() {
         let (mut h, mut asp) = setup();
         let r = asp.alloc_and_map(2 * 4096, &mut h.alloc).unwrap();
-        let svc = WiringService { mode: WiringMode::LowLevel };
-        let (_, n1) = svc.wire(SimTime::ZERO, &mut h, &mut asp, r.base, r.len).unwrap();
+        let svc = WiringService {
+            mode: WiringMode::LowLevel,
+        };
+        let (_, n1) = svc
+            .wire(SimTime::ZERO, &mut h, &mut asp, r.base, r.len)
+            .unwrap();
         assert_eq!(n1, 2);
-        let (g, n2) = svc.wire(SimTime::ZERO, &mut h, &mut asp, r.base, r.len).unwrap();
+        let (g, n2) = svc
+            .wire(SimTime::ZERO, &mut h, &mut asp, r.base, r.len)
+            .unwrap();
         assert_eq!(n2, 0);
         assert_eq!(g.finish.since(g.start), SimDuration::ZERO);
     }
@@ -129,9 +143,15 @@ mod tests {
     fn unwire_is_cheaper_than_wire() {
         let (mut h, mut asp) = setup();
         let r = asp.alloc_and_map(4096, &mut h.alloc).unwrap();
-        let svc = WiringService { mode: WiringMode::LowLevel };
-        let (gw, _) = svc.wire(SimTime::ZERO, &mut h, &mut asp, r.base, r.len).unwrap();
-        let (gu, n) = svc.unwire(gw.finish, &mut h, &mut asp, r.base, r.len).unwrap();
+        let svc = WiringService {
+            mode: WiringMode::LowLevel,
+        };
+        let (gw, _) = svc
+            .wire(SimTime::ZERO, &mut h, &mut asp, r.base, r.len)
+            .unwrap();
+        let (gu, n) = svc
+            .unwire(gw.finish, &mut h, &mut asp, r.base, r.len)
+            .unwrap();
         assert_eq!(n, 1);
         assert!(gu.finish.since(gu.start) < gw.finish.since(gw.start));
     }
@@ -140,8 +160,6 @@ mod tests {
     fn alpha_wiring_is_cheaper() {
         let ds = HostMachine::boot(MachineSpec::ds5000_200(), 1);
         let ax = HostMachine::boot(MachineSpec::dec3000_600(), 1);
-        assert!(
-            WiringMode::LowLevel.cost_per_page(&ax) < WiringMode::LowLevel.cost_per_page(&ds)
-        );
+        assert!(WiringMode::LowLevel.cost_per_page(&ax) < WiringMode::LowLevel.cost_per_page(&ds));
     }
 }

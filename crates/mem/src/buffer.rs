@@ -37,7 +37,11 @@ impl PhysBuffer {
     /// # Panics
     /// Panics unless `0 < at < len` (degenerate splits are caller bugs).
     pub fn split_at(&self, at: u32) -> (PhysBuffer, PhysBuffer) {
-        assert!(at > 0 && at < self.len, "split point {at} outside (0, {})", self.len);
+        assert!(
+            at > 0 && at < self.len,
+            "split point {at} outside (0, {})",
+            self.len
+        );
         (
             PhysBuffer::new(self.addr, at),
             PhysBuffer::new(self.addr.offset(at as u64), self.len - at),

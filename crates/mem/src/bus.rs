@@ -19,6 +19,7 @@
 //! * [`MemTopology::Crossbar`] (DEC 3000/600): DMA and CPU/memory traffic
 //!   proceed concurrently; CPU fills run on a separate memory port.
 
+use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::resource::Grant;
 use osiris_sim::{Clock, FifoResource, SimDuration, SimTime};
 
@@ -99,12 +100,14 @@ impl BusSpec {
 
     /// Duration of a DMA read moving `bytes` (overhead + data).
     pub fn dma_read_time(&self, bytes: u64) -> SimDuration {
-        self.clock.cycles(self.dma_read_overhead_cycles + self.words(bytes))
+        self.clock
+            .cycles(self.dma_read_overhead_cycles + self.words(bytes))
     }
 
     /// Duration of a DMA write moving `bytes` (overhead + data).
     pub fn dma_write_time(&self, bytes: u64) -> SimDuration {
-        self.clock.cycles(self.dma_write_overhead_cycles + self.words(bytes))
+        self.clock
+            .cycles(self.dma_write_overhead_cycles + self.words(bytes))
     }
 
     /// Duration of one CPU↔memory transaction of `bytes`.
@@ -115,37 +118,76 @@ impl BusSpec {
     /// Peak DMA throughput in Mbps for fixed-size transfers of `bytes` in
     /// the given direction — the paper's ceiling formula.
     pub fn dma_ceiling_mbps(&self, bytes: u64, write_to_host: bool) -> f64 {
-        let t = if write_to_host { self.dma_write_time(bytes) } else { self.dma_read_time(bytes) };
+        let t = if write_to_host {
+            self.dma_write_time(bytes)
+        } else {
+            self.dma_read_time(bytes)
+        };
         t.mbps_for_bytes(bytes)
     }
 }
 
 /// The arbitrated bus plus (on crossbar machines) a separate memory port.
+///
+/// Word traffic is published through `osiris-sim::obs` under the probe's
+/// `bus` scope: `words` (every word moved), split exhaustively into
+/// `dma_words` (board-mastered transfers) and `cpu_words` (CPU-driven
+/// fills, write-backs and PIO) — the §2.5 accounting that report
+/// consumers and the cross-layer consistency tests rely on.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     /// Cost constants.
     pub spec: BusSpec,
     bus: FifoResource,
     mem_port: FifoResource,
+    c_words: Counter,
+    c_dma_words: Counter,
+    c_cpu_words: Counter,
+    c_dma_transactions: Counter,
 }
 
 impl MemorySystem {
-    /// A new, idle memory system.
+    /// A new, idle memory system with a detached probe (standalone use).
     pub fn new(spec: BusSpec) -> Self {
+        MemorySystem::with_probe(spec, &Probe::detached())
+    }
+
+    /// A memory system publishing its counters under `<scope>.bus`.
+    pub fn with_probe(spec: BusSpec, probe: &Probe) -> Self {
+        let p = probe.scoped("bus");
         MemorySystem {
             spec,
             bus: FifoResource::new("turbochannel"),
             mem_port: FifoResource::new("mem-port"),
+            c_words: p.counter("words"),
+            c_dma_words: p.counter("dma_words"),
+            c_cpu_words: p.counter("cpu_words"),
+            c_dma_transactions: p.counter("dma_transactions"),
         }
+    }
+
+    #[inline]
+    fn count_dma(&self, words: u64) {
+        self.c_words.add(words);
+        self.c_dma_words.add(words);
+        self.c_dma_transactions.incr();
+    }
+
+    #[inline]
+    fn count_cpu(&self, words: u64) {
+        self.c_words.add(words);
+        self.c_cpu_words.add(words);
     }
 
     /// DMA read of `bytes` from host memory (transmit direction).
     pub fn dma_read(&mut self, now: SimTime, bytes: u64) -> Grant {
+        self.count_dma(self.spec.words(bytes));
         self.bus.acquire(now, self.spec.dma_read_time(bytes))
     }
 
     /// DMA write of `bytes` to host memory (receive direction).
     pub fn dma_write(&mut self, now: SimTime, bytes: u64) -> Grant {
+        self.count_dma(self.spec.words(bytes));
         self.bus.acquire(now, self.spec.dma_write_time(bytes))
     }
 
@@ -153,6 +195,7 @@ impl MemorySystem {
     /// `bytes`. Routed over the bus on [`MemTopology::SharedBus`] machines,
     /// over the private memory port on crossbar machines.
     pub fn cpu_mem_access(&mut self, now: SimTime, bytes: u64) -> Grant {
+        self.count_cpu(self.spec.words(bytes));
         let d = self.spec.mem_access_time(bytes);
         match self.spec.topology {
             MemTopology::SharedBus => self.bus.acquire(now, d),
@@ -164,6 +207,7 @@ impl MemorySystem {
     /// as one block (used for bulk fills where per-line events would be
     /// wasteful).
     pub fn cpu_mem_burst(&mut self, now: SimTime, n: u64, bytes: u64) -> Grant {
+        self.count_cpu(n * self.spec.words(bytes));
         let d = self.spec.mem_access_time(bytes);
         let total = SimDuration::from_ps(d.as_ps() * n);
         match self.spec.topology {
@@ -174,13 +218,21 @@ impl MemorySystem {
 
     /// Programmed-I/O read of `words` words across the bus.
     pub fn pio_read(&mut self, now: SimTime, words: u64) -> Grant {
-        let d = self.spec.clock.cycles(self.spec.pio_read_cycles_per_word * words);
+        self.count_cpu(words);
+        let d = self
+            .spec
+            .clock
+            .cycles(self.spec.pio_read_cycles_per_word * words);
         self.bus.acquire(now, d)
     }
 
     /// Programmed-I/O write of `words` words across the bus.
     pub fn pio_write(&mut self, now: SimTime, words: u64) -> Grant {
-        let d = self.spec.clock.cycles(self.spec.pio_write_cycles_per_word * words);
+        self.count_cpu(words);
+        let d = self
+            .spec
+            .clock
+            .cycles(self.spec.pio_write_cycles_per_word * words);
         self.bus.acquire(now, d)
     }
 
@@ -189,6 +241,26 @@ impl MemorySystem {
     /// `osiris-host::HostMachine::run_software`).
     pub fn pio_like_mem(&mut self, now: SimTime, d: SimDuration) -> Grant {
         self.bus.acquire(now, d)
+    }
+
+    /// Total 32-bit words moved (`dma_words + cpu_words`, always).
+    pub fn words(&self) -> u64 {
+        self.c_words.get()
+    }
+
+    /// Words moved by board-mastered DMA.
+    pub fn dma_words(&self) -> u64 {
+        self.c_dma_words.get()
+    }
+
+    /// Words moved by CPU-driven traffic (fills, write-backs, PIO).
+    pub fn cpu_words(&self) -> u64 {
+        self.c_cpu_words.get()
+    }
+
+    /// Number of DMA transactions (each pays the fixed overhead).
+    pub fn dma_transactions(&self) -> u64 {
+        self.c_dma_transactions.get()
     }
 
     /// The underlying bus resource (utilisation diagnostics).
@@ -264,6 +336,29 @@ mod tests {
         let one = ms.spec.mem_access_time(4);
         let g = ms.cpu_mem_burst(SimTime::ZERO, 10, 4);
         assert_eq!(g.finish.since(g.start).as_ps(), one.as_ps() * 10);
+    }
+
+    #[test]
+    fn word_counters_split_exhaustively() {
+        use osiris_sim::Registry;
+        let reg = Registry::new();
+        let mut ms = MemorySystem::with_probe(BusSpec::ds5000_200(), &reg.probe("node0"));
+        let t0 = SimTime::ZERO;
+        ms.dma_write(t0, 44); // 11 words
+        ms.dma_read(t0, 88); // 22 words
+        ms.cpu_mem_access(t0, 4); // 1 word
+        ms.cpu_mem_burst(t0, 3, 4); // 3 words
+        ms.pio_read(t0, 5);
+        ms.pio_write(t0, 7);
+        ms.pio_like_mem(t0, SimDuration::from_ns(100)); // duration only: no words
+        assert_eq!(ms.dma_words(), 33);
+        assert_eq!(ms.cpu_words(), 16);
+        assert_eq!(ms.words(), ms.dma_words() + ms.cpu_words());
+        assert_eq!(ms.dma_transactions(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("node0.bus.words"), 49);
+        assert_eq!(snap.counter("node0.bus.dma_words"), 33);
+        assert_eq!(snap.counter("node0.bus.cpu_words"), 16);
     }
 
     #[test]

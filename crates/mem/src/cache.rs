@@ -51,13 +51,21 @@ impl CacheSpec {
     /// DECstation 5000/200: 64 KB direct-mapped, one-word lines,
     /// no DMA coherence.
     pub fn decstation_5000_200() -> Self {
-        CacheSpec { size: 64 * 1024, line_size: 4, coherent_dma: false }
+        CacheSpec {
+            size: 64 * 1024,
+            line_size: 4,
+            coherent_dma: false,
+        }
     }
 
     /// DEC 3000/600: 2 MB board cache modelled as the coherence-relevant
     /// level — 32-byte lines, updated by DMA.
     pub fn dec_3000_600() -> Self {
-        CacheSpec { size: 2 * 1024 * 1024, line_size: 32, coherent_dma: true }
+        CacheSpec {
+            size: 2 * 1024 * 1024,
+            line_size: 32,
+            coherent_dma: true,
+        }
     }
 
     /// Number of lines.
@@ -121,7 +129,11 @@ impl DataCache {
     pub fn new(spec: CacheSpec) -> Self {
         assert!(spec.line_size.is_power_of_two() && spec.line_size >= 4);
         assert!(spec.size.is_multiple_of(spec.line_size));
-        DataCache { tags: vec![None; spec.lines()], data: vec![0; spec.size], spec }
+        DataCache {
+            tags: vec![None; spec.lines()],
+            data: vec![0; spec.size],
+            spec,
+        }
     }
 
     /// The cache's geometry.
@@ -175,8 +187,9 @@ impl DataCache {
                 let line_bytes = mem.read(PhysAddr(line_base), self.spec.line_size);
                 self.data[slot_base..slot_base + self.spec.line_size].copy_from_slice(line_bytes);
                 self.tags[slot] = Some(ln);
-                buf[pos..pos + take]
-                    .copy_from_slice(&self.data[slot_base + off_in_line..slot_base + off_in_line + take]);
+                buf[pos..pos + take].copy_from_slice(
+                    &self.data[slot_base + off_in_line..slot_base + off_in_line + take],
+                );
                 acc.missed_lines += 1;
             }
             pos += take;
@@ -258,7 +271,11 @@ mod tests {
     use super::*;
 
     fn setup(coherent: bool) -> (DataCache, PhysMemory) {
-        let spec = CacheSpec { size: 1024, line_size: 16, coherent_dma: coherent };
+        let spec = CacheSpec {
+            size: 1024,
+            line_size: 16,
+            coherent_dma: coherent,
+        };
         (DataCache::new(spec), PhysMemory::new(16 * 4096, 4096))
     }
 

@@ -52,9 +52,18 @@ impl PhysMemory {
     /// # Panics
     /// Panics unless `page_size` is a power of two dividing `size`.
     pub fn new(size: usize, page_size: usize) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
-        assert!(size.is_multiple_of(page_size), "memory size must be page-aligned");
-        PhysMemory { bytes: vec![0; size], page_size }
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(
+            size.is_multiple_of(page_size),
+            "memory size must be page-aligned"
+        );
+        PhysMemory {
+            bytes: vec![0; size],
+            page_size,
+        }
     }
 
     /// Total size in bytes.
@@ -135,7 +144,10 @@ impl FrameAllocator {
     pub fn new(mem: &PhysMemory, policy: AllocPolicy, seed: u64) -> Self {
         let n = mem.frames();
         let mut free: Vec<usize> = (0..n).collect();
-        if matches!(policy, AllocPolicy::Scattered | AllocPolicy::BestEffortContiguous) {
+        if matches!(
+            policy,
+            AllocPolicy::Scattered | AllocPolicy::BestEffortContiguous
+        ) {
             let mut rng = SimRng::new(seed);
             rng.shuffle(&mut free);
         }
@@ -235,7 +247,11 @@ impl FrameAllocator {
     }
 
     fn take(&mut self, frame: usize) {
-        let pos = self.free.iter().position(|&f| f == frame).expect("frame not free");
+        let pos = self
+            .free
+            .iter()
+            .position(|&f| f == frame)
+            .expect("frame not free");
         self.free.swap_remove(pos);
         self.in_use[frame] = true;
     }
@@ -308,7 +324,10 @@ mod tests {
         let frames = a.alloc(8).unwrap();
         // With 64 shuffled frames the odds of 8 sequential ones are nil.
         let contiguous = frames.windows(2).all(|w| w[1] == w[0] + 1);
-        assert!(!contiguous, "scattered policy produced a contiguous run: {frames:?}");
+        assert!(
+            !contiguous,
+            "scattered policy produced a contiguous run: {frames:?}"
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ impl SgMap {
             self.loads += 1;
         }
         self.next_bus_page += pages as u64;
-        Ok(BusAddr(base_bus_page * self.page_size + buf.addr.0 % self.page_size))
+        Ok(BusAddr(
+            base_bus_page * self.page_size + buf.addr.0 % self.page_size,
+        ))
     }
 
     /// Maps a whole fragment list (one call per §2.2 "fragment of a
@@ -162,11 +164,20 @@ mod tests {
     fn scattered_fragments_cost_one_load_per_page() {
         let mut m = SgMap::new(64, 4096);
         // A §2.2-style fragmented message: 4 scattered pages + a header.
-        let frags =
-            [b(9 * 4096, 64), b(2 * 4096, 4096), b(7 * 4096, 4096), b(4096, 4096), b(5 * 4096, 4096)];
+        let frags = [
+            b(9 * 4096, 64),
+            b(2 * 4096, 4096),
+            b(7 * 4096, 4096),
+            b(4096, 4096),
+            b(5 * 4096, 4096),
+        ];
         let bus = m.map_fragments(&frags).unwrap();
         assert_eq!(bus.len(), 5);
-        assert_eq!(m.loads(), 5, "one map update per page: fragmentation persists");
+        assert_eq!(
+            m.loads(),
+            5,
+            "one map update per page: fragmentation persists"
+        );
         for (addr, frag) in bus.iter().zip(&frags) {
             assert_eq!(m.translate(*addr).unwrap(), frag.addr);
         }
@@ -185,7 +196,10 @@ mod tests {
     fn unmapped_bus_page_faults() {
         let m = SgMap::new(8, 4096);
         assert_eq!(m.translate(BusAddr(0)).unwrap_err(), SgError::NotMapped);
-        assert_eq!(m.translate(BusAddr(5 * 4096)).unwrap_err(), SgError::NotMapped);
+        assert_eq!(
+            m.translate(BusAddr(5 * 4096)).unwrap_err(),
+            SgError::NotMapped
+        );
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl AddressSpace {
     pub fn new(page_size: usize) -> Self {
         assert!(page_size.is_power_of_two());
         // Start mappings above page 16 so null-ish addresses stay unmapped.
-        AddressSpace { page_size: page_size as u64, table: BTreeMap::new(), next_vpn: 16 }
+        AddressSpace {
+            page_size: page_size as u64,
+            table: BTreeMap::new(),
+            next_vpn: 16,
+        }
     }
 
     /// Page size in bytes.
@@ -106,11 +110,20 @@ impl AddressSpace {
     pub fn map_frames(&mut self, frames: &[usize], len: u64) -> VirtRegion {
         let base_vpn = self.next_vpn;
         for (i, &f) in frames.iter().enumerate() {
-            self.table.insert(base_vpn + i as u64, PageEntry { frame: f, wired: false });
+            self.table.insert(
+                base_vpn + i as u64,
+                PageEntry {
+                    frame: f,
+                    wired: false,
+                },
+            );
         }
         // Leave a one-page guard gap between regions.
         self.next_vpn = base_vpn + frames.len() as u64 + 1;
-        VirtRegion { base: VirtAddr(base_vpn * self.page_size), len }
+        VirtRegion {
+            base: VirtAddr(base_vpn * self.page_size),
+            len,
+        }
     }
 
     /// Unmaps a region and returns its frames to `alloc`.
@@ -264,13 +277,19 @@ mod tests {
     #[test]
     fn translate_unmapped_fails() {
         let (asp, _alloc, _m) = setup(AllocPolicy::Sequential);
-        assert_eq!(asp.translate(VirtAddr(0), 10).unwrap_err(), MapError::Unmapped);
+        assert_eq!(
+            asp.translate(VirtAddr(0), 10).unwrap_err(),
+            MapError::Unmapped
+        );
     }
 
     #[test]
     fn zero_len_is_bad_range() {
         let (asp, _alloc, _m) = setup(AllocPolicy::Sequential);
-        assert_eq!(asp.translate(VirtAddr(0), 0).unwrap_err(), MapError::BadRange);
+        assert_eq!(
+            asp.translate(VirtAddr(0), 0).unwrap_err(),
+            MapError::BadRange
+        );
     }
 
     #[test]

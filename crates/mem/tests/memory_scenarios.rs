@@ -3,8 +3,8 @@
 //! — plus cache/sg-map interactions.
 
 use osiris_mem::{
-    AddressSpace, AllocPolicy, BusAddr, CacheSpec, DataCache, FrameAllocator, PhysAddr,
-    PhysBuffer, PhysMemory, SgMap,
+    AddressSpace, AllocPolicy, BusAddr, CacheSpec, DataCache, FrameAllocator, PhysAddr, PhysBuffer,
+    PhysMemory, SgMap,
 };
 
 #[test]
@@ -112,7 +112,11 @@ fn cache_aliasing_with_buffer_recycling_is_how_staleness_happens() {
     // The §2.3 risk spelled out in memory terms: a small cache plus a
     // large buffer rotation means recycled buffers alias old lines only
     // after the whole rotation — which normal traffic evicts first.
-    let spec = CacheSpec { size: 8 * 1024, line_size: 16, coherent_dma: false };
+    let spec = CacheSpec {
+        size: 8 * 1024,
+        line_size: 16,
+        coherent_dma: false,
+    };
     let mut cache = DataCache::new(spec);
     let mut mem = PhysMemory::new(64 * 4096, 4096);
 
@@ -129,7 +133,10 @@ fn cache_aliasing_with_buffer_recycling_is_how_staleness_happens() {
     // The old lines were evicted by the rotation: the read is fresh
     // without any invalidation — the paper's argument for laziness.
     let acc = cache.read(&mem, PhysAddr(0), &mut buf);
-    assert_eq!(acc.stale_bytes, 0, "rotation must have evicted the stale lines");
+    assert_eq!(
+        acc.stale_bytes, 0,
+        "rotation must have evicted the stale lines"
+    );
     assert_eq!(buf, vec![0xBBu8; 4096]);
 }
 
@@ -138,7 +145,11 @@ fn too_small_a_rotation_does_go_stale() {
     // The converse: if the driver rotated buffers inside the cache's
     // footprint, staleness would be routine — why §2.3 needs the 64-buffer
     // rotation (and why lazy invalidation is not a free lunch in general).
-    let spec = CacheSpec { size: 64 * 1024, line_size: 16, coherent_dma: false };
+    let spec = CacheSpec {
+        size: 64 * 1024,
+        line_size: 16,
+        coherent_dma: false,
+    };
     let mut cache = DataCache::new(spec);
     let mut mem = PhysMemory::new(64 * 4096, 4096);
     mem.fill(PhysAddr(0), 4096, 0x11);

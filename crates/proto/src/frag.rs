@@ -148,7 +148,11 @@ mod tests {
     fn buffer_count_header_only_for_empty_data() {
         assert_eq!(fragment_buffer_count(0, 0, 4096), 1);
         assert_eq!(fragment_buffer_count(0, 4096, 4096), 2);
-        assert_eq!(fragment_buffer_count(1, 4096, 4096), 3, "unaligned spans two pages");
+        assert_eq!(
+            fragment_buffer_count(1, 4096, 4096),
+            3,
+            "unaligned spans two pages"
+        );
     }
 
     #[test]

@@ -76,7 +76,15 @@ impl PathTable {
         let id = PathId(self.next_id);
         let vci = self.vcis.bind_fresh(id.0)?;
         self.next_id += 1;
-        self.paths.insert(id, PathEntry { vci, ports, domain, queue_page });
+        self.paths.insert(
+            id,
+            PathEntry {
+                vci,
+                ports,
+                domain,
+                queue_page,
+            },
+        );
         self.by_port.insert(ports.local_port, id);
         Some((id, vci))
     }
@@ -95,7 +103,15 @@ impl PathTable {
         }
         let id = PathId(self.next_id);
         self.next_id += 1;
-        self.paths.insert(id, PathEntry { vci, ports, domain, queue_page });
+        self.paths.insert(
+            id,
+            PathEntry {
+                vci,
+                ports,
+                domain,
+                queue_page,
+            },
+        );
         self.by_port.insert(ports.local_port, id);
         Some(id)
     }
@@ -135,7 +151,11 @@ mod tests {
     use super::*;
 
     fn ports(p: u16) -> PortAddr {
-        PortAddr { local_port: p, remote_port: p + 1, remote_host: 2 }
+        PortAddr {
+            local_port: p,
+            remote_port: p + 1,
+            remote_host: 2,
+        }
     }
 
     #[test]

@@ -98,8 +98,14 @@ impl<A: MsgAddr> Message<A> {
                 self.segs.remove(0);
                 need -= first.len;
             } else {
-                popped.segs.push(Seg { addr: first.addr, len: need });
-                self.segs[0] = Seg { addr: first.addr.add(need as u64), len: first.len - need };
+                popped.segs.push(Seg {
+                    addr: first.addr,
+                    len: need,
+                });
+                self.segs[0] = Seg {
+                    addr: first.addr.add(need as u64),
+                    len: first.len - need,
+                };
                 need = 0;
             }
         }
@@ -119,9 +125,14 @@ impl<A: MsgAddr> Message<A> {
                 self.segs.remove(0);
                 need -= first.len as u64;
             } else {
-                front.segs.push(Seg { addr: first.addr, len: need as u32 });
-                self.segs[0] =
-                    Seg { addr: first.addr.add(need), len: first.len - need as u32 };
+                front.segs.push(Seg {
+                    addr: first.addr,
+                    len: need as u32,
+                });
+                self.segs[0] = Seg {
+                    addr: first.addr.add(need),
+                    len: first.len - need as u32,
+                };
                 need = 0;
             }
         }

@@ -18,6 +18,7 @@ use osiris_board::descriptor::Descriptor;
 use osiris_host::driver::DeliveredPdu;
 use osiris_host::machine::{internet_checksum, HostMachine};
 use osiris_mem::{AddressSpace, MapError, PhysAddr, PhysBuffer, VirtAddr};
+use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::SimTime;
 
 use crate::frag::fragment_layout;
@@ -38,7 +39,10 @@ impl ProtoConfig {
     /// The paper's configuration: 16 KB of data per fragment (page-aligned
     /// MTU), checksumming off.
     pub fn paper_default() -> Self {
-        ProtoConfig { mtu: 16 * 1024 + IP_HEADER_BYTES as u32, udp_checksum: false }
+        ProtoConfig {
+            mtu: 16 * 1024 + IP_HEADER_BYTES as u32,
+            udp_checksum: false,
+        }
     }
 }
 
@@ -75,7 +79,8 @@ pub enum RxVerdict {
     },
 }
 
-/// Stack counters.
+/// Stack counters — a point-in-time copy of the stack's registry
+/// counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StackStats {
     /// Datagrams delivered.
@@ -109,15 +114,49 @@ pub struct ProtoStack {
     slab_next: u32,
     ip_id: u32,
     reasm: HashMap<u32, IpReassembly>,
-    stats: StackStats,
+    stats: StackCounters,
+}
+
+/// The stack's registry-visible counters (scope `<probe>.stack`).
+#[derive(Debug, Clone)]
+struct StackCounters {
+    delivered: Counter,
+    dropped: Counter,
+    lazy_recoveries: Counter,
+    frags_out: Counter,
+    frags_in: Counter,
+}
+
+impl StackCounters {
+    fn with_probe(probe: &Probe) -> Self {
+        let p = probe.scoped("stack");
+        StackCounters {
+            delivered: p.counter("delivered"),
+            dropped: p.counter("dropped"),
+            lazy_recoveries: p.counter("lazy_recoveries"),
+            frags_out: p.counter("frags_out"),
+            frags_in: p.counter("frags_in"),
+        }
+    }
 }
 
 /// Bytes per header-slab slot (fits either header comfortably).
 const SLAB_SLOT: u32 = 64;
 
 impl ProtoStack {
-    /// Builds a stack, allocating its header slab in `asp`.
+    /// Builds a stack with detached counters, allocating its header slab
+    /// in `asp` (standalone use).
     pub fn new(cfg: ProtoConfig, host: &mut HostMachine, asp: &mut AddressSpace) -> Self {
+        ProtoStack::with_probe(cfg, host, asp, &Probe::detached())
+    }
+
+    /// Builds a stack publishing its counters under `<scope>.stack`.
+    pub fn with_probe(
+        cfg: ProtoConfig,
+        host: &mut HostMachine,
+        asp: &mut AddressSpace,
+        probe: &Probe,
+    ) -> Self {
         let slots = 1024u32;
         let region = asp
             .alloc_and_map((slots * SLAB_SLOT) as u64, &mut host.alloc)
@@ -132,13 +171,19 @@ impl ProtoStack {
             slab_next: 0,
             ip_id: 1,
             reasm: HashMap::new(),
-            stats: StackStats::default(),
+            stats: StackCounters::with_probe(probe),
         }
     }
 
-    /// Stack counters.
-    pub fn stats(&self) -> &StackStats {
-        &self.stats
+    /// Stack counters (a copy of the current values).
+    pub fn stats(&self) -> StackStats {
+        StackStats {
+            delivered: self.stats.delivered.get(),
+            dropped: self.stats.dropped.get(),
+            lazy_recoveries: self.stats.lazy_recoveries.get(),
+            frags_out: self.stats.frags_out.get(),
+            frags_in: self.stats.frags_in.get(),
+        }
     }
 
     /// The header slab's virtual region (ADC setup authorizes its frames).
@@ -176,7 +221,12 @@ impl ProtoStack {
         } else {
             0
         };
-        let udp = UdpHeader { src_port, dst_port, len: data_len as u32, cksum };
+        let udp = UdpHeader {
+            src_port,
+            dst_port,
+            len: data_len as u32,
+            cksum,
+        };
         let udp_va = self.slab_slot();
         let udp_pa = asp.translate_addr(udp_va)?;
         t = host.cpu_write(t, udp_pa, &udp.encode()).finish;
@@ -210,7 +260,7 @@ impl ProtoStack {
             frag.push_header(ip_va, IP_HEADER_BYTES as u32);
             packets.push(TxPacket { msg: frag });
             offset += size as u64;
-            self.stats.frags_out += 1;
+            self.stats.frags_out.incr();
         }
         Ok((packets, t))
     }
@@ -242,17 +292,25 @@ impl ProtoStack {
         let Some(ip) = IpHeader::decode(&hdr_bytes) else {
             // A stale-cache hit can corrupt the header itself; §2.3 says
             // invalidate and re-evaluate before declaring an error.
-            t = host.invalidate_cache(t, descs[0].addr, IP_HEADER_BYTES).finish;
+            t = host
+                .invalidate_cache(t, descs[0].addr, IP_HEADER_BYTES)
+                .finish;
             let rr2 = host.cpu_read(t, descs[0].addr, &mut hdr_bytes);
             t = rr2.grant.finish;
             match IpHeader::decode(&hdr_bytes) {
                 Some(h) if rr.stale_bytes > 0 => {
-                    self.stats.lazy_recoveries += 1;
+                    self.stats.lazy_recoveries.incr();
                     return self.input_ip(t, host, h, descs, pdu.len);
                 }
                 _ => {
-                    self.stats.dropped += 1;
-                    return (RxVerdict::Drop { reason: "bad IP header", descs }, t);
+                    self.stats.dropped.incr();
+                    return (
+                        RxVerdict::Drop {
+                            reason: "bad IP header",
+                            descs,
+                        },
+                        t,
+                    );
                 }
             }
         };
@@ -268,7 +326,7 @@ impl ProtoStack {
         pdu_len: u32,
     ) -> (RxVerdict, SimTime) {
         let mut t = now;
-        self.stats.frags_in += 1;
+        self.stats.frags_in.incr();
 
         // Strip the IP header from the buffer chain.
         let mut data = Message::<PhysAddr>::empty();
@@ -320,10 +378,16 @@ impl ProtoStack {
                 udp = UdpHeader::decode(&udp_bytes).expect("12 bytes always decode");
             }
             if udp.len as u64 == len {
-                self.stats.lazy_recoveries += 1;
+                self.stats.lazy_recoveries.incr();
             } else {
-                self.stats.dropped += 1;
-                return (RxVerdict::Drop { reason: "UDP length mismatch", descs: all_descs }, t);
+                self.stats.dropped.incr();
+                return (
+                    RxVerdict::Drop {
+                        reason: "UDP length mismatch",
+                        descs: all_descs,
+                    },
+                    t,
+                );
             }
         }
 
@@ -340,24 +404,38 @@ impl ProtoStack {
                     let (t3, ck2, _) = self.checksum_phys(t, host, &datagram);
                     t = t3;
                     if ck2 == udp.cksum {
-                        self.stats.lazy_recoveries += 1;
+                        self.stats.lazy_recoveries.incr();
                     } else {
-                        self.stats.dropped += 1;
+                        self.stats.dropped.incr();
                         return (
-                            RxVerdict::Drop { reason: "UDP checksum", descs: all_descs },
+                            RxVerdict::Drop {
+                                reason: "UDP checksum",
+                                descs: all_descs,
+                            },
                             t,
                         );
                     }
                 } else {
-                    self.stats.dropped += 1;
-                    return (RxVerdict::Drop { reason: "UDP checksum", descs: all_descs }, t);
+                    self.stats.dropped.incr();
+                    return (
+                        RxVerdict::Drop {
+                            reason: "UDP checksum",
+                            descs: all_descs,
+                        },
+                        t,
+                    );
                 }
             }
         }
 
-        self.stats.delivered += 1;
+        self.stats.delivered.incr();
         (
-            RxVerdict::Deliver { dst_port: udp.dst_port, data: datagram, descs: all_descs, len },
+            RxVerdict::Deliver {
+                dst_port: udp.dst_port,
+                data: datagram,
+                descs: all_descs,
+                len,
+            },
             t,
         )
     }
@@ -423,8 +501,17 @@ impl ProtoStack {
         dst_port: u16,
         payload: &[u8],
     ) -> Vec<Vec<u8>> {
-        let cksum = if cfg.udp_checksum { internet_checksum(payload) } else { 0 };
-        let udp = UdpHeader { src_port, dst_port, len: payload.len() as u32, cksum };
+        let cksum = if cfg.udp_checksum {
+            internet_checksum(payload)
+        } else {
+            0
+        };
+        let udp = UdpHeader {
+            src_port,
+            dst_port,
+            len: payload.len() as u32,
+            cksum,
+        };
         let mut datagram = udp.encode().to_vec();
         datagram.extend_from_slice(payload);
         let plan = fragment_layout(datagram.len() as u64, cfg.mtu);
@@ -458,7 +545,10 @@ mod tests {
         let mut host = HostMachine::boot(MachineSpec::ds5000_200(), 11);
         let mut asp = AddressSpace::new(host.spec.page_size);
         let stack = ProtoStack::new(
-            ProtoConfig { udp_checksum: checksum, ..ProtoConfig::paper_default() },
+            ProtoConfig {
+                udp_checksum: checksum,
+                ..ProtoConfig::paper_default()
+            },
             &mut host,
             &mut asp,
         );
@@ -466,15 +556,16 @@ mod tests {
     }
 
     /// Writes a payload into a fresh VM region and returns its message.
-    fn payload(
-        host: &mut HostMachine,
-        asp: &mut AddressSpace,
-        bytes: &[u8],
-    ) -> Message<VirtAddr> {
-        let r = asp.alloc_and_map(bytes.len() as u64, &mut host.alloc).unwrap();
+    fn payload(host: &mut HostMachine, asp: &mut AddressSpace, bytes: &[u8]) -> Message<VirtAddr> {
+        let r = asp
+            .alloc_and_map(bytes.len() as u64, &mut host.alloc)
+            .unwrap();
         let mut off = 0u64;
         for pb in asp.translate(r.base, bytes.len() as u64).unwrap() {
-            host.phys.write(pb.addr, &bytes[off as usize..(off + pb.len as u64) as usize]);
+            host.phys.write(
+                pb.addr,
+                &bytes[off as usize..(off + pb.len as u64) as usize],
+            );
             off += pb.len as u64;
         }
         Message::single(r.base, bytes.len() as u32)
@@ -484,7 +575,9 @@ mod tests {
     fn small_message_is_one_packet() {
         let (mut host, mut asp, mut stack) = setup(false);
         let data = payload(&mut host, &mut asp, &[7u8; 1000]);
-        let (pkts, t) = stack.output(SimTime::ZERO, &mut host, &asp, data, 5, 7, 2).unwrap();
+        let (pkts, t) = stack
+            .output(SimTime::ZERO, &mut host, &asp, data, 5, 7, 2)
+            .unwrap();
         assert_eq!(pkts.len(), 1);
         assert!(t > SimTime::ZERO);
         // IP header + UDP header + data.
@@ -497,7 +590,9 @@ mod tests {
     fn large_message_fragments_at_mtu() {
         let (mut host, mut asp, mut stack) = setup(false);
         let data = payload(&mut host, &mut asp, &vec![1u8; 40_000]);
-        let (pkts, _) = stack.output(SimTime::ZERO, &mut host, &asp, data, 5, 7, 2).unwrap();
+        let (pkts, _) = stack
+            .output(SimTime::ZERO, &mut host, &asp, data, 5, 7, 2)
+            .unwrap();
         // 40_012 bytes of datagram at 16 KB per fragment = 3 fragments.
         assert_eq!(pkts.len(), 3);
         for p in &pkts {
@@ -543,13 +638,24 @@ mod tests {
             host.phys.write(addr, p);
             let pdu = DeliveredPdu {
                 vci: osiris_atm::Vci(33),
-                bufs: vec![Descriptor::tx(addr, p.len() as u32, osiris_atm::Vci(33), true)],
+                bufs: vec![Descriptor::tx(
+                    addr,
+                    p.len() as u32,
+                    osiris_atm::Vci(33),
+                    true,
+                )],
                 len: p.len() as u32,
                 ready_at: t,
             };
             let (v, t2) = stack.input(t, host, &pdu);
             t = t2;
-            if let RxVerdict::Deliver { dst_port, data, len, .. } = v {
+            if let RxVerdict::Deliver {
+                dst_port,
+                data,
+                len,
+                ..
+            } = v
+            {
                 let mut bytes = Vec::new();
                 for seg in data.segs() {
                     bytes.extend_from_slice(host.phys.read(seg.addr, seg.len as usize));
@@ -618,7 +724,12 @@ mod tests {
         // bytes, recovers via invalidation, and delivers.
         let pdu = DeliveredPdu {
             vci: osiris_atm::Vci(1),
-            bufs: vec![Descriptor::tx(addr, pdu_bytes.len() as u32, osiris_atm::Vci(1), true)],
+            bufs: vec![Descriptor::tx(
+                addr,
+                pdu_bytes.len() as u32,
+                osiris_atm::Vci(1),
+                true,
+            )],
             len: pdu_bytes.len() as u32,
             ready_at: SimTime::ZERO,
         };
@@ -627,7 +738,10 @@ mod tests {
             RxVerdict::Deliver { len, .. } => assert_eq!(len, 1500),
             other => panic!("expected delivery after lazy recovery, got {other:?}"),
         }
-        assert!(stack.stats().lazy_recoveries >= 1, "recovery must be counted");
+        assert!(
+            stack.stats().lazy_recoveries >= 1,
+            "recovery must be counted"
+        );
         assert_eq!(stack.stats().dropped, 0);
     }
 
@@ -640,7 +754,9 @@ mod tests {
 
         let (mut host2, mut asp2, mut stack2) = setup(false);
         let data2 = payload(&mut host2, &mut asp2, &vec![3u8; 16 * 1024]);
-        let (_, t_plain) = stack2.output(t0, &mut host2, &asp2, data2, 1, 2, 3).unwrap();
+        let (_, t_plain) = stack2
+            .output(t0, &mut host2, &asp2, data2, 1, 2, 3)
+            .unwrap();
         assert!(
             t_cksum.since(t0).as_ps() > t_plain.since(t0).as_ps() * 2,
             "checksumming 16 KB on a 5000/200 must dominate: {} vs {}",

@@ -166,7 +166,11 @@ mod tests {
             }
             let mut bad = b;
             bad[i] ^= 0x40;
-            assert_eq!(IpHeader::decode(&bad), None, "byte {i} corruption undetected");
+            assert_eq!(
+                IpHeader::decode(&bad),
+                None,
+                "byte {i} corruption undetected"
+            );
         }
     }
 
@@ -180,7 +184,12 @@ mod tests {
 
     #[test]
     fn udp_roundtrip() {
-        let h = UdpHeader { src_port: 5001, dst_port: 7, len: 1 << 20, cksum: 0xABCD };
+        let h = UdpHeader {
+            src_port: 5001,
+            dst_port: 7,
+            len: 1 << 20,
+            cksum: 0xABCD,
+        };
         assert_eq!(UdpHeader::decode(&h.encode()), Some(h));
         assert_eq!(UdpHeader::decode(&[0u8; 4]), None);
     }

@@ -7,17 +7,20 @@ use osiris_atm::Vci;
 use osiris_board::descriptor::Descriptor;
 use osiris_host::driver::DeliveredPdu;
 use osiris_host::machine::{HostMachine, MachineSpec};
+use osiris_mem::AddressSpace;
 use osiris_mem::PhysAddr;
 use osiris_proto::stack::{ProtoConfig, ProtoStack, RxVerdict};
 use osiris_proto::wire::IP_HEADER_BYTES;
-use osiris_mem::AddressSpace;
 use osiris_sim::SimTime;
 
 fn rig(checksum: bool) -> (HostMachine, AddressSpace, ProtoStack) {
     let mut host = HostMachine::boot(MachineSpec::dec3000_600(), 21);
     let mut asp = AddressSpace::new(host.spec.page_size);
     let stack = ProtoStack::new(
-        ProtoConfig { udp_checksum: checksum, ..ProtoConfig::paper_default() },
+        ProtoConfig {
+            udp_checksum: checksum,
+            ..ProtoConfig::paper_default()
+        },
         &mut host,
         &mut asp,
     );
@@ -56,8 +59,12 @@ fn interleaved_datagrams_reassemble_by_id() {
     for i in 0..pdus_a.len().max(pdus_b.len()) {
         for pdus in [&pdus_a, &pdus_b] {
             if let Some(p) = pdus.get(i) {
-                if let RxVerdict::Deliver { dst_port, data, len, .. } =
-                    deliver(&mut host, &mut stack, base, p, t)
+                if let RxVerdict::Deliver {
+                    dst_port,
+                    data,
+                    len,
+                    ..
+                } = deliver(&mut host, &mut stack, base, p, t)
                 {
                     let mut bytes = Vec::new();
                     for seg in data.segs() {

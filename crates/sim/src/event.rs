@@ -54,7 +54,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, pushed: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            pushed: 0,
+        }
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -62,7 +66,11 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Removes and returns the earliest event.

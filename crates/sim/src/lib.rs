@@ -23,6 +23,8 @@
 //! simulation produces bit-identical results, which the test suite relies on.
 
 pub mod event;
+pub mod json;
+pub mod obs;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -30,10 +32,34 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use json::Json;
+pub use obs::{Probe, Registry, Snapshot, Timeline};
 pub use resource::FifoResource;
 pub use rng::SimRng;
 pub use time::{Clock, SimDuration, SimTime};
 pub use trace::Trace;
+
+/// Simulation-kernel configuration shared by harnesses: the sizing knobs
+/// of the observability machinery (everything else about a run lives in
+/// the harness's own config, e.g. `TestbedConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Capacity of the human-readable [`Trace`] ring.
+    pub trace_capacity: usize,
+    /// Capacity of the typed [`Timeline`] event buffer.
+    pub timeline_capacity: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        // 4096 matches the historical hardcoded trace ring; the timeline
+        // holds full spans (every event of a long ping-pong fits).
+        SimConfig {
+            trace_capacity: 4096,
+            timeline_capacity: 1 << 16,
+        }
+    }
+}
 
 /// A simulation model: a state machine advanced by timestamped events.
 ///
@@ -63,7 +89,12 @@ pub struct Simulation<M: Model> {
 impl<M: Model> Simulation<M> {
     /// Creates a simulation at time zero with an empty event queue.
     pub fn new(model: M) -> Self {
-        Simulation { model, queue: EventQueue::new(), now: SimTime::ZERO, steps: 0 }
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            steps: 0,
+        }
     }
 
     /// Current virtual time (the timestamp of the last dispatched event).

@@ -1,0 +1,668 @@
+//! Observability: probes, a hierarchical metric registry, and a typed
+//! timeline of simulated-time spans.
+//!
+//! The paper's conclusions all rest on counting things — interrupts per
+//! PDU (§2.1.2), cache words invalidated (§2.3), DMA transactions and
+//! bus words (§2.5), cells per reassembly lane (§2.6). Every component
+//! in the workspace publishes those tallies through this module instead
+//! of hand-rolling its own stat structs:
+//!
+//! * [`Registry`] — one shared, hierarchical store of counters, gauges,
+//!   and time-weighted histograms, keyed by dotted paths such as
+//!   `node0.board.rx.cells` or `node1.host.bus.dma_words`.
+//! * [`Probe`] — a cheap handle scoped to one component (`board.rx`,
+//!   `host.intr`, `bus`); components request their instruments from it
+//!   at construction and then increment [`Counter`] handles directly —
+//!   an `Rc<Cell<u64>>` bump, no lookup on the hot path.
+//! * [`Timeline`] — typed spans/instants in simulated picosecond time,
+//!   exportable as Chrome trace-event JSON for `chrome://tracing` /
+//!   Perfetto.
+//! * [`Snapshot`] — a deterministic (BTreeMap-ordered) read-out of the
+//!   whole registry, the unit the report layer and the bench binaries
+//!   consume.
+//!
+//! Components constructed standalone (unit tests, micro-experiments)
+//! use [`Probe::detached`], which owns a private registry; the
+//! `Testbed` builder threads one shared registry through every layer.
+//! The simulation is single-threaded by design, so handles are
+//! `Rc`-based and this module is deliberately `!Send`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::json::Json;
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing event count.
+///
+/// Cloning shares the underlying cell: the component keeps one clone for
+/// hot-path increments while the registry keeps another for snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// A counter not registered anywhere (placeholder/testing).
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+
+    /// Resets to zero (used when a harness clears its trace/timeline).
+    pub fn reset(&self) {
+        self.0.set(0);
+    }
+}
+
+/// A last-value-wins measurement (queue depth, free buffers, …).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<f64>>);
+
+impl Gauge {
+    /// Sets the current value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// A time-weighted histogram: tracks a piecewise-constant signal over
+/// simulated time (queue length, outstanding DMA transactions) and
+/// reports its time-weighted mean plus extrema.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Rc<RefCell<HistInner>>);
+
+#[derive(Debug, Default)]
+struct HistInner {
+    started: bool,
+    last_value: f64,
+    last_at: SimTime,
+    /// ∫ value dt, in value·picoseconds.
+    weighted_sum: f64,
+    total_ps: u128,
+    min: f64,
+    max: f64,
+    samples: u64,
+}
+
+impl Histogram {
+    /// Records that the signal takes `value` from `now` onwards.
+    pub fn record(&self, now: SimTime, value: f64) {
+        let mut h = self.0.borrow_mut();
+        if h.started {
+            let dt = now.saturating_since(h.last_at).as_ps();
+            h.weighted_sum += h.last_value * dt as f64;
+            h.total_ps += dt as u128;
+            h.min = h.min.min(value);
+            h.max = h.max.max(value);
+        } else {
+            h.started = true;
+            h.min = value;
+            h.max = value;
+        }
+        h.last_value = value;
+        h.last_at = now;
+        h.samples += 1;
+    }
+
+    /// Summary of everything recorded so far.
+    pub fn summary(&self) -> HistSummary {
+        let h = self.0.borrow();
+        let mean = if h.total_ps > 0 {
+            h.weighted_sum / h.total_ps as f64
+        } else if h.started {
+            h.last_value
+        } else {
+            0.0
+        };
+        HistSummary {
+            time_weighted_mean: mean,
+            min: if h.started { h.min } else { 0.0 },
+            max: if h.started { h.max } else { 0.0 },
+            samples: h.samples,
+        }
+    }
+}
+
+/// Read-out of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Mean of the signal weighted by how long each value was held.
+    pub time_weighted_mean: f64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Number of `record` calls.
+    pub samples: u64,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+/// The shared metric store. Cloning is cheap (one `Rc`); all clones view
+/// the same instruments.
+#[derive(Debug, Clone, Default)]
+pub struct Registry(Rc<RefCell<RegistryInner>>);
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// A probe rooted at `scope` (empty string for the registry root).
+    pub fn probe(&self, scope: &str) -> Probe {
+        Probe {
+            reg: self.clone(),
+            scope: scope.to_string(),
+        }
+    }
+
+    /// The counter at exactly `path`, registering it at zero if absent.
+    pub fn counter(&self, path: &str) -> Counter {
+        self.0
+            .borrow_mut()
+            .counters
+            .entry(path.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge at exactly `path`, registering it if absent.
+    pub fn gauge(&self, path: &str) -> Gauge {
+        self.0
+            .borrow_mut()
+            .gauges
+            .entry(path.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram at exactly `path`, registering it if absent.
+    pub fn histogram(&self, path: &str) -> Histogram {
+        self.0
+            .borrow_mut()
+            .hists
+            .entry(path.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// A deterministic point-in-time read-out of every instrument.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.0.borrow();
+        Snapshot {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(k, c)| (k.clone(), c.get()))
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(k, g)| (k.clone(), g.get()))
+                .collect(),
+            hists: inner
+                .hists
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+}
+
+/// A handle scoped to one component's corner of the registry.
+#[derive(Debug, Clone)]
+pub struct Probe {
+    reg: Registry,
+    scope: String,
+}
+
+impl Probe {
+    /// A probe over a fresh private registry — for components built
+    /// standalone (unit tests, micro-experiments).
+    pub fn detached() -> Probe {
+        Registry::new().probe("")
+    }
+
+    /// This probe's dotted scope path (may be empty at the root).
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+
+    /// The registry this probe feeds.
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// A child probe: `probe("board").scoped("rx")` → scope `board.rx`.
+    pub fn scoped(&self, sub: &str) -> Probe {
+        Probe {
+            reg: self.reg.clone(),
+            scope: self.join(sub),
+        }
+    }
+
+    fn join(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{}", self.scope, name)
+        }
+    }
+
+    /// The counter `scope.name`, registering it at zero if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.reg.counter(&self.join(name))
+    }
+
+    /// The gauge `scope.name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.reg.gauge(&self.join(name))
+    }
+
+    /// The histogram `scope.name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.reg.histogram(&self.join(name))
+    }
+
+    /// Snapshot of the **whole** registry this probe feeds.
+    pub fn snapshot(&self) -> Snapshot {
+        self.reg.snapshot()
+    }
+}
+
+/// A deterministic read-out of a [`Registry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by full dotted path.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by full dotted path.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by full dotted path.
+    pub hists: BTreeMap<String, HistSummary>,
+}
+
+impl Snapshot {
+    /// The counter at `path`, zero if it was never registered.
+    pub fn counter(&self, path: &str) -> u64 {
+        self.counters.get(path).copied().unwrap_or(0)
+    }
+
+    /// The gauge at `path`, zero if absent.
+    pub fn gauge(&self, path: &str) -> f64 {
+        self.gauges.get(path).copied().unwrap_or(0.0)
+    }
+
+    /// Sum of every counter whose path starts with `prefix` followed by
+    /// `.` (or equals `prefix`) — e.g. `sum_counters("node0.board")`.
+    pub fn sum_counters(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| {
+                k.as_str() == prefix
+                    || (k.starts_with(prefix) && k[prefix.len()..].starts_with('.'))
+            })
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Counters whose path ends with `.suffix`, in path order.
+    pub fn counters_with_suffix<'a>(
+        &'a self,
+        suffix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters.iter().filter_map(move |(k, &v)| {
+            let stripped = k.strip_suffix(suffix)?;
+            if stripped.ends_with('.') || stripped.is_empty() {
+                Some((k.as_str(), v))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Renders the snapshot as a JSON object:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .fold(Json::obj(), |j, (k, &v)| j.with(k, v));
+        let gauges = self
+            .gauges
+            .iter()
+            .fold(Json::obj(), |j, (k, &v)| j.with(k, v));
+        let hists = self.hists.iter().fold(Json::obj(), |j, (k, h)| {
+            j.with(
+                k,
+                Json::obj()
+                    .with("time_weighted_mean", h.time_weighted_mean)
+                    .with("min", h.min)
+                    .with("max", h.max)
+                    .with("samples", h.samples),
+            )
+        });
+        Json::obj()
+            .with("counters", counters)
+            .with("gauges", gauges)
+            .with("histograms", hists)
+    }
+}
+
+/// One recorded timeline event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Track (maps to a Chrome trace thread): `host0.cpu`, `board1.rx`, `bus0`.
+    pub track: String,
+    /// Event name shown in the viewer.
+    pub name: String,
+    /// Start time.
+    pub at: SimTime,
+    /// Span length; `None` marks an instant event.
+    pub dur: Option<SimDuration>,
+}
+
+/// Typed spans and instants in simulated time, bounded like the trace
+/// ring: when full, the **oldest** events are evicted and counted in a
+/// registry-visible `dropped` counter so truncation is never silent.
+#[derive(Debug)]
+pub struct Timeline {
+    enabled: bool,
+    capacity: usize,
+    events: std::collections::VecDeque<TimelineEvent>,
+    dropped: Counter,
+}
+
+impl Timeline {
+    /// A disabled timeline with the given capacity and a detached
+    /// dropped-events counter.
+    pub fn new(capacity: usize) -> Timeline {
+        Timeline {
+            enabled: false,
+            capacity,
+            events: std::collections::VecDeque::new(),
+            dropped: Counter::detached(),
+        }
+    }
+
+    /// A timeline whose `dropped` counter is registered on `probe` as
+    /// `<scope>.timeline.dropped`.
+    pub fn with_probe(capacity: usize, probe: &Probe) -> Timeline {
+        let mut t = Timeline::new(capacity);
+        t.dropped = probe.scoped("timeline").counter("dropped");
+        t
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a span on `track` from `start` to `end`.
+    pub fn span(&mut self, track: &str, name: impl Into<String>, start: SimTime, end: SimTime) {
+        self.push(TimelineEvent {
+            track: track.to_string(),
+            name: name.into(),
+            at: start,
+            dur: Some(end.saturating_since(start)),
+        });
+    }
+
+    /// Records an instant on `track` at `at`.
+    pub fn instant(&mut self, track: &str, name: impl Into<String>, at: SimTime) {
+        self.push(TimelineEvent {
+            track: track.to_string(),
+            name: name.into(),
+            at,
+            dur: None,
+        });
+    }
+
+    fn push(&mut self, ev: TimelineEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped.incr();
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimelineEvent> {
+        self.events.iter()
+    }
+
+    /// Events evicted because the timeline was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Clears recorded events (keeps the enabled flag and capacity).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// All spans on `track` whose name equals `name`, oldest first.
+    pub fn spans_named<'a>(
+        &'a self,
+        track: &'a str,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a TimelineEvent> + 'a {
+        self.events
+            .iter()
+            .filter(move |e| e.track == track && e.name == name)
+    }
+
+    /// Exports the Chrome trace-event JSON document (the format
+    /// `chrome://tracing` and Perfetto load): complete (`"X"`) events
+    /// for spans, instant (`"i"`) events for instants, one trace "thread"
+    /// per track, timestamps in microseconds of simulated time.
+    pub fn to_chrome_json(&self) -> Json {
+        let mut tracks: Vec<&str> = Vec::new();
+        for ev in &self.events {
+            if !tracks.contains(&ev.track.as_str()) {
+                tracks.push(&ev.track);
+            }
+        }
+        let mut events = Vec::new();
+        for ev in &self.events {
+            let tid = tracks.iter().position(|t| *t == ev.track).unwrap() as i64;
+            let mut obj = Json::obj()
+                .with("name", ev.name.as_str())
+                .with("cat", "sim")
+                .with("ph", if ev.dur.is_some() { "X" } else { "i" })
+                .with("ts", ev.at.as_us_f64())
+                .with("pid", 0i64)
+                .with("tid", tid);
+            match ev.dur {
+                Some(d) => obj = obj.with("dur", d.as_us_f64()),
+                None => obj = obj.with("s", "t"),
+            }
+            events.push(obj);
+        }
+        // Thread-name metadata so the viewer labels tracks.
+        for (tid, track) in tracks.iter().enumerate() {
+            events.push(
+                Json::obj()
+                    .with("name", "thread_name")
+                    .with("ph", "M")
+                    .with("pid", 0i64)
+                    .with("tid", tid as i64)
+                    .with("args", Json::obj().with("name", *track)),
+            );
+        }
+        Json::obj()
+            .with("traceEvents", Json::Arr(events))
+            .with("displayTimeUnit", "ms")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_and_share() {
+        let reg = Registry::new();
+        let probe = reg.probe("board").scoped("rx");
+        let c = probe.counter("cells");
+        c.add(3);
+        probe.counter("cells").incr(); // same underlying cell
+        assert_eq!(c.get(), 4);
+        assert_eq!(reg.snapshot().counter("board.rx.cells"), 4);
+        assert_eq!(reg.snapshot().counter("board.rx.missing"), 0);
+    }
+
+    #[test]
+    fn detached_probes_do_not_collide() {
+        let a = Probe::detached();
+        let b = Probe::detached();
+        a.counter("x").add(5);
+        assert_eq!(b.counter("x").get(), 0);
+    }
+
+    #[test]
+    fn snapshot_ordering_is_deterministic() {
+        let reg = Registry::new();
+        reg.counter("z.last").add(1);
+        reg.counter("a.first").add(2);
+        reg.counter("m.mid").add(3);
+        let snap = reg.snapshot();
+        let keys: Vec<&str> = snap.counters.keys().map(|s| s.as_str()).collect();
+        assert_eq!(keys, vec!["a.first", "m.mid", "z.last"]);
+    }
+
+    #[test]
+    fn sum_counters_respects_path_boundaries() {
+        let reg = Registry::new();
+        reg.counter("node0.rx.cells").add(2);
+        reg.counter("node0.rx.pdus").add(3);
+        reg.counter("node0.rxtra.cells").add(100);
+        assert_eq!(reg.snapshot().sum_counters("node0.rx"), 5);
+    }
+
+    #[test]
+    fn suffix_query_finds_per_node_counters() {
+        let reg = Registry::new();
+        reg.counter("node0.board.rx.cells").add(1);
+        reg.counter("node1.board.rx.cells").add(2);
+        reg.counter("node1.board.rx.cells_rejected").add(9);
+        let snap = reg.snapshot();
+        let total: u64 = snap.counters_with_suffix("cells").map(|(_, v)| v).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn gauge_and_histogram_snapshot() {
+        let reg = Registry::new();
+        reg.gauge("q.depth").set(7.5);
+        let h = reg.histogram("q.len");
+        h.record(SimTime::ZERO, 0.0);
+        h.record(SimTime::from_us(10), 4.0); // 0 held 10 us
+        h.record(SimTime::from_us(30), 0.0); // 4 held 20 us
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("q.depth"), 7.5);
+        let s = snap.hists["q.len"];
+        assert!((s.time_weighted_mean - (4.0 * 20.0 / 30.0)).abs() < 1e-9);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn snapshot_to_json_round_trips() {
+        let reg = Registry::new();
+        reg.counter("a.b").add(42);
+        reg.gauge("g").set(1.5);
+        reg.histogram("h").record(SimTime::ZERO, 2.0);
+        let text = reg.snapshot().to_json().render_pretty();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("counters").unwrap().get("a.b").unwrap().as_u64(),
+            Some(42)
+        );
+        assert_eq!(
+            doc.get("gauges").unwrap().get("g").unwrap().as_f64(),
+            Some(1.5)
+        );
+    }
+
+    #[test]
+    fn timeline_records_spans_and_exports_chrome_json() {
+        let mut tl = Timeline::new(16);
+        tl.set_enabled(true);
+        tl.span(
+            "host0.cpu",
+            "intr",
+            SimTime::from_us(10),
+            SimTime::from_us(85),
+        );
+        tl.instant("board0.rx", "cell", SimTime::from_us(12));
+        let doc = tl.to_chrome_json();
+        let evs = doc.get("traceEvents").unwrap().items();
+        // 2 events + 2 thread_name metadata records.
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(evs[0].get("dur").unwrap().as_f64(), Some(75.0));
+        assert_eq!(evs[1].get("ph").unwrap().as_str(), Some("i"));
+        // Round-trip through the parser.
+        let text = doc.render_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), doc);
+    }
+
+    #[test]
+    fn timeline_disabled_records_nothing() {
+        let mut tl = Timeline::new(4);
+        tl.instant("t", "x", SimTime::ZERO);
+        assert_eq!(tl.events().count(), 0);
+    }
+
+    #[test]
+    fn timeline_eviction_feeds_registry_counter() {
+        let reg = Registry::new();
+        let probe = reg.probe("sim");
+        let mut tl = Timeline::with_probe(2, &probe);
+        tl.set_enabled(true);
+        for i in 0..5u64 {
+            tl.instant("t", format!("e{i}"), SimTime::from_us(i));
+        }
+        assert_eq!(tl.events().count(), 2);
+        assert_eq!(tl.dropped(), 3);
+        assert_eq!(reg.snapshot().counter("sim.timeline.dropped"), 3);
+    }
+}

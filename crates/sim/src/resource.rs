@@ -57,7 +57,12 @@ pub struct FifoResource {
 impl FifoResource {
     /// A new, idle resource. `name` appears in diagnostics only.
     pub fn new(name: &'static str) -> Self {
-        FifoResource { name, free_at: SimTime::ZERO, busy: SimDuration::ZERO, grants: 0 }
+        FifoResource {
+            name,
+            free_at: SimTime::ZERO,
+            busy: SimDuration::ZERO,
+            grants: 0,
+        }
     }
 
     /// Diagnostic name.
@@ -132,7 +137,10 @@ mod tests {
         assert_eq!(b.start, SimTime::from_us(10));
         assert_eq!(b.finish, SimTime::from_us(15));
         assert_eq!(c.start, SimTime::from_us(15));
-        assert_eq!(b.queueing_delay(SimTime::from_us(1)), SimDuration::from_us(9));
+        assert_eq!(
+            b.queueing_delay(SimTime::from_us(1)),
+            SimDuration::from_us(9)
+        );
     }
 
     #[test]
@@ -152,11 +160,8 @@ mod tests {
         assert_eq!(r.total_busy(), SimDuration::from_us(7));
         assert_eq!(r.grants(), 2);
         // 7 us busy over a 14 us window = 50 %.
-        let u = FifoResource::utilisation(
-            SimDuration::from_us(7),
-            SimTime::ZERO,
-            SimTime::from_us(14),
-        );
+        let u =
+            FifoResource::utilisation(SimDuration::from_us(7), SimTime::ZERO, SimTime::from_us(14));
         assert!((u - 0.5).abs() < 1e-12);
     }
 

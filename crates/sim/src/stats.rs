@@ -20,7 +20,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        RunningStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -147,7 +153,9 @@ pub struct LatencyStats {
 impl LatencyStats {
     /// An empty collector.
     pub fn new() -> Self {
-        LatencyStats { stats: RunningStats::new() }
+        LatencyStats {
+            stats: RunningStats::new(),
+        }
     }
 
     /// Records one latency sample.
@@ -204,7 +212,11 @@ impl DurationHistogram {
 
     /// An empty histogram.
     pub fn new() -> Self {
-        DurationHistogram { buckets: vec![0; Self::BUCKETS], count: 0, max: SimDuration::ZERO }
+        DurationHistogram {
+            buckets: vec![0; Self::BUCKETS],
+            count: 0,
+            max: SimDuration::ZERO,
+        }
     }
 
     fn bucket_of(d: SimDuration) -> usize {

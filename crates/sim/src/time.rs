@@ -73,7 +73,11 @@ impl SimTime {
     /// # Panics
     /// Panics if `earlier` is later than `self`.
     pub fn since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.checked_sub(earlier.0).expect("SimTime::since: negative duration"))
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("SimTime::since: negative duration"),
+        )
     }
 
     /// Saturating duration since `earlier` (zero if `earlier` is later).
@@ -108,7 +112,10 @@ impl SimDuration {
     }
     /// Fractional microseconds, rounded to the nearest picosecond.
     pub fn from_us_f64(us: f64) -> Self {
-        assert!(us >= 0.0 && us.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            us >= 0.0 && us.is_finite(),
+            "duration must be finite and non-negative"
+        );
         SimDuration((us * PS_PER_US as f64).round() as u64)
     }
 

@@ -8,6 +8,7 @@
 
 use std::collections::VecDeque;
 
+use crate::obs::{Counter, Probe};
 use crate::time::SimTime;
 
 /// A bounded ring of timestamped trace records.
@@ -16,13 +17,34 @@ pub struct Trace {
     enabled: bool,
     capacity: usize,
     records: VecDeque<(SimTime, String)>,
-    dropped: u64,
+    /// Eviction count; registry-visible when built via [`Trace::with_probe`]
+    /// so truncation is never silent.
+    dropped: Counter,
 }
 
 impl Trace {
-    /// A disabled trace ring with the given capacity.
+    /// A disabled trace ring with the given capacity and a detached
+    /// dropped-records counter.
     pub fn new(capacity: usize) -> Self {
-        Trace { enabled: false, capacity, records: VecDeque::new(), dropped: 0 }
+        Trace {
+            enabled: false,
+            capacity,
+            records: VecDeque::new(),
+            dropped: Counter::detached(),
+        }
+    }
+
+    /// A disabled trace ring whose `dropped` counter is registered on
+    /// `probe` as `<scope>.trace.dropped`.
+    pub fn with_probe(capacity: usize, probe: &Probe) -> Self {
+        let mut t = Trace::new(capacity);
+        t.dropped = probe.scoped("trace").counter("dropped");
+        t
+    }
+
+    /// The ring's capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// A trace ring that starts enabled.
@@ -49,7 +71,7 @@ impl Trace {
         }
         if self.records.len() == self.capacity {
             self.records.pop_front();
-            self.dropped += 1;
+            self.dropped.incr();
         }
         self.records.push_back((now, msg()));
     }
@@ -61,7 +83,7 @@ impl Trace {
 
     /// Number of records evicted due to capacity.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.dropped.get()
     }
 
     /// Renders all retained records, one per line.
@@ -76,7 +98,7 @@ impl Trace {
     /// Clears retained records (keeps the enabled flag).
     pub fn clear(&mut self) {
         self.records.clear();
-        self.dropped = 0;
+        self.dropped.reset();
     }
 }
 

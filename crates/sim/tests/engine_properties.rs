@@ -1,5 +1,9 @@
 //! Property tests for the DES kernel itself: the ordering guarantees
 //! every other crate builds on.
+//!
+//! Requires the `proptest-tests` feature (and its dev-dependencies,
+//! which offline builds cannot fetch — see the manifest note).
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 

@@ -8,7 +8,7 @@
 //! a coordinated switch would remove it by making every lane as slow as
 //! the busiest.
 
-use osiris::atm::sar::{FramingMode, ReassemblyMode, Reassembler, SegmentUnit, Segmenter};
+use osiris::atm::sar::{FramingMode, Reassembler, ReassemblyMode, SegmentUnit, Segmenter};
 use osiris::atm::switch::{Switch, SwitchSpec};
 use osiris::atm::traffic::{TrafficModel, TrafficSource};
 use osiris::atm::Vci;
@@ -16,8 +16,14 @@ use osiris::sim::{SimDuration, SimTime};
 
 fn main() {
     for (label, spec) in [
-        ("uncoordinated switch (the real AURORA)", SwitchSpec::sts3c_16port()),
-        ("coordinated ports (the rejected design)", SwitchSpec::coordinated()),
+        (
+            "uncoordinated switch (the real AURORA)",
+            SwitchSpec::sts3c_16port(),
+        ),
+        (
+            "coordinated ports (the rejected design)",
+            SwitchSpec::coordinated(),
+        ),
     ] {
         let mut sw = Switch::new(spec);
         for lane in 0..4u16 {
@@ -28,7 +34,10 @@ fn main() {
         // Bursty cross traffic hammers ports 1 and 3.
         for (port, seed) in [(1usize, 11u64), (3, 13)] {
             let mut src = TrafficSource::new(
-                TrafficModel::OnOff { mean_burst: 25, mean_gap: 30 },
+                TrafficModel::OnOff {
+                    mean_burst: 25,
+                    mean_gap: 30,
+                },
                 155_520_000,
                 SimTime::ZERO,
                 seed,
@@ -40,8 +49,11 @@ fn main() {
 
         // One 30-cell striped PDU enters mid-storm.
         let data: Vec<u8> = (0..44 * 30).map(|i| (i % 251) as u8).collect();
-        let cells = Segmenter { framing: FramingMode::FourWay { lanes: 4 }, unit: SegmentUnit::Pdu }
-            .segment(Vci(0), &[&data]);
+        let cells = Segmenter {
+            framing: FramingMode::FourWay { lanes: 4 },
+            unit: SegmentUnit::Pdu,
+        }
+        .segment(Vci(0), &[&data]);
         let mut arrivals = Vec::new();
         for (i, mut cell) in cells.into_iter().enumerate() {
             let lane = i % 4;

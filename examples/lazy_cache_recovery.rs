@@ -12,19 +12,22 @@
 //! buffer is reused — and watch the UDP checksum catch it and the lazy
 //! recovery repair it, with the genuine stale bytes flowing through.
 
-use osiris::host::machine::{HostMachine, MachineSpec};
-use osiris::host::driver::DeliveredPdu;
+use osiris::atm::Vci;
 use osiris::board::descriptor::Descriptor;
+use osiris::host::driver::DeliveredPdu;
+use osiris::host::machine::{HostMachine, MachineSpec};
 use osiris::mem::{AddressSpace, PhysAddr};
 use osiris::proto::stack::{ProtoConfig, ProtoStack, RxVerdict};
-use osiris::atm::Vci;
 use osiris::sim::SimTime;
 
 fn main() {
     let mut host = HostMachine::boot(MachineSpec::ds5000_200(), 3);
     let mut asp = AddressSpace::new(host.spec.page_size);
     let mut stack = ProtoStack::new(
-        ProtoConfig { udp_checksum: true, ..ProtoConfig::paper_default() },
+        ProtoConfig {
+            udp_checksum: true,
+            ..ProtoConfig::paper_default()
+        },
         &mut host,
         &mut asp,
     );
@@ -35,7 +38,10 @@ fn main() {
     let old = vec![0x11u8; 2048];
     host.phys.write(buffer, &old);
     let mut scratch = vec![0u8; 2048];
-    let t0 = host.cpu_read(SimTime::ZERO, buffer, &mut scratch).grant.finish;
+    let t0 = host
+        .cpu_read(SimTime::ZERO, buffer, &mut scratch)
+        .grant
+        .finish;
     println!("t={t0}: application read the previous message; its bytes are cached");
 
     // 2. The board DMAs a NEW PDU into the same buffer. The 5000/200's
@@ -46,7 +52,10 @@ fn main() {
     let mut phys = std::mem::replace(&mut host.phys, osiris::mem::PhysMemory::new(4096, 4096));
     host.cache.dma_write(&mut phys, buffer, wire);
     host.phys = phys;
-    println!("t={t0}: DMA stored a new {}-byte PDU behind the cache's back", wire.len());
+    println!(
+        "t={t0}: DMA stored a new {}-byte PDU behind the cache's back",
+        wire.len()
+    );
 
     // 3. Protocol input: the checksum reads through the cache, sees the
     //    STALE bytes, mismatches, invalidates, re-reads, and delivers.

@@ -61,18 +61,32 @@ fn main() {
     // Bulk kernel traffic on queue 0, one urgent video frame on the ADC.
     for i in 0..4u64 {
         tx.queue_mut(0)
-            .push(Descriptor::tx(PhysAddr(0x1000 + i * 0x100), 44, Vci(1), true))
+            .push(Descriptor::tx(
+                PhysAddr(0x1000 + i * 0x100),
+                44,
+                Vci(1),
+                true,
+            ))
             .unwrap();
     }
     host.phys.write(PhysAddr(64 * 4096), &[0xEE; 44]);
-    tx.queue_mut(page).push(Descriptor::tx(PhysAddr(64 * 4096), 44, Vci(80), true)).unwrap();
+    tx.queue_mut(page)
+        .push(Descriptor::tx(PhysAddr(64 * 4096), 44, Vci(80), true))
+        .unwrap();
     let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
-    let first = tx.service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link).unwrap();
-    println!("first PDU transmitted came from queue {} (the priority-7 ADC)", first.queue);
+    let first = tx
+        .service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link)
+        .unwrap();
+    println!(
+        "first PDU transmitted came from queue {} (the priority-7 ADC)",
+        first.queue
+    );
     assert_eq!(first.queue, page);
 
     // ── 3. Protection ──────────────────────────────────────────────────
-    tx.queue_mut(page).push(Descriptor::tx(PhysAddr(0x2000), 44, Vci(80), true)).unwrap();
+    tx.queue_mut(page)
+        .push(Descriptor::tx(PhysAddr(0x2000), 44, Vci(80), true))
+        .unwrap();
     let mut out = None;
     let mut t = first.finished_at;
     while let Some(o) = tx.service(t, &mut host.mem_sys, &host.phys, &mut link) {

@@ -7,12 +7,43 @@
 //! Builds the §4 testbed — two DECstation 5000/200s with OSIRIS boards
 //! linked back-to-back — and runs one latency and one throughput
 //! experiment on it, then switches machines to the DEC 3000/600.
+//!
+//! Pass `--trace-out trace.json` to additionally record one traced
+//! ping-pong on the typed timeline and write it as Chrome trace-event
+//! JSON (load it in `chrome://tracing` or Perfetto).
 
 use osiris::board::dma::DmaMode;
 use osiris::config::{TestbedConfig, TouchMode};
 use osiris::experiments::{receive_throughput, round_trip_latency};
+use osiris::sim::{SimTime, Simulation};
+use osiris::testbed::{Event, Testbed};
+
+/// Runs one 1 KB ping-pong with the timeline enabled and writes the
+/// Chrome trace-event JSON document to `path`.
+fn dump_chrome_trace(path: &str) {
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 1024;
+    cfg.messages = 1;
+    let mut tb = Testbed::new_pair(cfg);
+    tb.timeline.set_enabled(true);
+    let mut sim = Simulation::new(tb);
+    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    assert!(sim.run_while(|m| !m.done), "traced ping did not complete");
+    let doc = sim.model.timeline.to_chrome_json().render_pretty();
+    std::fs::write(path, doc).expect("write trace file");
+    println!(
+        "wrote {} timeline events to {path} (open in chrome://tracing or Perfetto)",
+        sim.model.timeline.events().count()
+    );
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace-out") {
+        let path = args.get(i + 1).expect("--trace-out needs a file path");
+        dump_chrome_trace(path);
+        return;
+    }
     // ── Round-trip latency (Table 1 style) ─────────────────────────────
     let mut cfg = TestbedConfig::ds5000_200_udp();
     cfg.msg_size = 1024;

@@ -27,7 +27,10 @@ fn send_over(
     framing: FramingMode,
     data: &[u8],
 ) -> Vec<(usize, osiris::atm::Cell)> {
-    let seg = Segmenter { framing, unit: SegmentUnit::Pdu };
+    let seg = Segmenter {
+        framing,
+        unit: SegmentUnit::Pdu,
+    };
     let cells = seg.segment(Vci(1), &[data]);
     let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), skew);
     let mut arrivals: Vec<(osiris::sim::SimTime, usize, osiris::atm::Cell)> = Vec::new();
@@ -38,7 +41,10 @@ fn send_over(
     }
     // Stable sort by arrival time keeps per-lane FIFO order intact.
     arrivals.sort_by_key(|&(at, _, _)| at);
-    arrivals.into_iter().map(|(_, lane, cell)| (lane, cell)).collect()
+    arrivals
+        .into_iter()
+        .map(|(_, lane, cell)| (lane, cell))
+        .collect()
 }
 
 fn reassemble(mode: ReassemblyMode, arrivals: &[(usize, osiris::atm::Cell)]) -> (bool, Vec<u8>) {
@@ -62,18 +68,27 @@ fn main() {
     // 1. In-order reassembly under skew: corrupted, CRC catches it.
     let arrivals = send_over(skew.clone(), FramingMode::EndOfPdu, &data);
     let (crc_ok, got) = reassemble(ReassemblyMode::InOrder, &arrivals);
-    println!("in-order reassembly under mux skew: crc_ok={crc_ok}, data intact={}", got == data);
+    println!(
+        "in-order reassembly under mux skew: crc_ok={crc_ok}, data intact={}",
+        got == data
+    );
     assert!(!crc_ok, "the CRC must flag misordered assembly");
 
     // 2a. Strategy 1: AAL sequence numbers place each cell.
     let (crc_ok, got) = reassemble(ReassemblyMode::SeqNum { max_cells: 4096 }, &arrivals);
-    println!("sequence-number reassembly:          crc_ok={crc_ok}, data intact={}", got == data);
+    println!(
+        "sequence-number reassembly:          crc_ok={crc_ok}, data intact={}",
+        got == data
+    );
     assert!(crc_ok && got == data);
 
     // 2b. Strategy 2: four concurrent AAL5 reassemblies.
     let arrivals = send_over(skew, FramingMode::FourWay { lanes: 4 }, &data);
     let (crc_ok, got) = reassemble(ReassemblyMode::FourWay { lanes: 4 }, &arrivals);
-    println!("four-way (per-lane AAL5) reassembly: crc_ok={crc_ok}, data intact={}", got == data);
+    println!(
+        "four-way (per-lane AAL5) reassembly: crc_ok={crc_ok}, data intact={}",
+        got == data
+    );
     assert!(crc_ok && got == data);
 
     // 3. The cost: double-cell combining collapses.

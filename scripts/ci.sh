@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline-safe CI gate: format, lint, build, test, and a smoke run.
+# Everything here works with zero network access — the workspace has no
+# external dependencies by design (see Cargo.toml's proptest-tests note).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> smoke: quickstart example"
+cargo run --release -q --example quickstart
+
+echo "==> smoke: Chrome trace export round-trip"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q --example quickstart -- --trace-out "$tmp/trace.json"
+test -s "$tmp/trace.json"
+
+echo "CI OK"

@@ -2,6 +2,10 @@
 //! invariants: an incoherent cache may serve stale bytes but only ever
 //! bytes that *were* at that address before a DMA; invalidation always
 //! restores truth; a coherent cache never serves stale bytes at all.
+//!
+//! Requires the `proptest-tests` feature (and its dev-dependencies,
+//! which offline builds cannot fetch — see the manifest note).
+#![cfg(feature = "proptest-tests")]
 
 use proptest::prelude::*;
 
@@ -17,8 +21,16 @@ enum Op {
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (any::<u16>(), any::<u8>(), 1u8..64).prop_map(|(at, val, len)| Op::CpuWrite { at, val, len }),
-        (any::<u16>(), any::<u8>(), 1u8..64).prop_map(|(at, val, len)| Op::DmaWrite { at, val, len }),
+        (any::<u16>(), any::<u8>(), 1u8..64).prop_map(|(at, val, len)| Op::CpuWrite {
+            at,
+            val,
+            len
+        }),
+        (any::<u16>(), any::<u8>(), 1u8..64).prop_map(|(at, val, len)| Op::DmaWrite {
+            at,
+            val,
+            len
+        }),
         (any::<u16>(), 1u8..64).prop_map(|(at, len)| Op::Invalidate { at, len }),
         (any::<u16>(), 1u8..64).prop_map(|(at, len)| Op::Read { at, len }),
     ]
@@ -27,7 +39,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 /// A shadow model: `truth` is memory contents; `cpu_view` is what the CPU
 /// would see (tracks CPU writes and *observed* reads, never DMA directly).
 fn run_ops(coherent: bool, ops: &[Op]) {
-    let spec = CacheSpec { size: 1024, line_size: 16, coherent_dma: coherent };
+    let spec = CacheSpec {
+        size: 1024,
+        line_size: 16,
+        coherent_dma: coherent,
+    };
     let mut cache = DataCache::new(spec);
     let mut mem = PhysMemory::new(1 << 16, 4096);
     // Shadow of every byte-version ever present at each address.

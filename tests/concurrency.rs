@@ -4,6 +4,10 @@
 //! 32-bit loads and stores. On a modern memory model that means one
 //! release/acquire pair per side; `SpscRing` encodes exactly that, and
 //! these tests hammer it from real threads via crossbeam scopes.
+//!
+//! Requires the `proptest-tests` feature (and its dev-dependencies,
+//! which offline builds cannot fetch — see the manifest note).
+#![cfg(feature = "proptest-tests")]
 
 use crossbeam::thread;
 use osiris::board::spsc::SpscRing;

@@ -73,7 +73,10 @@ fn adc_equals_kernel_but_user_pays_crossings() {
     let kernel = run(DataPath::Kernel);
     let adc = run(DataPath::Adc);
     let user = run(DataPath::UserViaKernel);
-    assert!((adc - kernel).abs() / kernel < 0.05, "ADC {adc} vs kernel {kernel}");
+    assert!(
+        (adc - kernel).abs() / kernel < 0.05,
+        "ADC {adc} vs kernel {kernel}"
+    );
     // Two crossings per message, four per round trip: 4 × 20 us = 80 us.
     assert!(user > kernel + 60.0, "user {user} vs kernel {kernel}");
 }
@@ -98,27 +101,42 @@ fn alpha_receive_approaches_link_payload_rate() {
     cfg.warmup = 2;
     cfg.rx_dma = DmaMode::DoubleCell;
     let mbps = receive_throughput(&cfg).mbps;
-    assert!((450.0..560.0).contains(&mbps), "expected near 516 Mbps, got {mbps}");
+    assert!(
+        (450.0..560.0).contains(&mbps),
+        "expected near 516 Mbps, got {mbps}"
+    );
 }
 
 #[test]
 fn transmit_is_bounded_by_single_cell_ceiling() {
-    for mk in [TestbedConfig::ds5000_200_udp, TestbedConfig::dec3000_600_udp] {
+    for mk in [
+        TestbedConfig::ds5000_200_udp,
+        TestbedConfig::dec3000_600_udp,
+    ] {
         let mut cfg = mk();
         cfg.msg_size = 64 * 1024;
         cfg.messages = 10;
         cfg.warmup = 2;
         let mbps = transmit_throughput(&cfg);
-        assert!(mbps < 367.0, "{}: tx {mbps} exceeds the 367 Mbps ceiling", cfg.machine.name);
-        assert!(mbps > 150.0, "{}: tx {mbps} implausibly slow", cfg.machine.name);
+        assert!(
+            mbps < 367.0,
+            "{}: tx {mbps} exceeds the 367 Mbps ceiling",
+            cfg.machine.name
+        );
+        assert!(
+            mbps > 150.0,
+            "{}: tx {mbps} implausibly slow",
+            cfg.machine.name
+        );
     }
 }
 
 #[test]
 fn skewed_stripes_work_with_both_strategies() {
-    for reassembly in
-        [ReassemblyMode::FourWay { lanes: 4 }, ReassemblyMode::SeqNum { max_cells: 4096 }]
-    {
+    for reassembly in [
+        ReassemblyMode::FourWay { lanes: 4 },
+        ReassemblyMode::SeqNum { max_cells: 4096 },
+    ] {
         let mut cfg = base();
         cfg.msg_size = 10_000;
         cfg.messages = 4;
@@ -146,7 +164,11 @@ fn experiments_are_deterministic_per_seed() {
     cfg.msg_size = 3000;
     let a = round_trip_latency(&cfg);
     let b = round_trip_latency(&cfg);
-    assert_eq!(a.mean_us().to_bits(), b.mean_us().to_bits(), "same seed, same result");
+    assert_eq!(
+        a.mean_us().to_bits(),
+        b.mean_us().to_bits(),
+        "same seed, same result"
+    );
     let mut cfg2 = cfg.clone();
     cfg2.seed = 777;
     // A different seed changes frame placement; results stay in family but

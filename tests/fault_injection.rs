@@ -35,13 +35,19 @@ fn corrupted_cells_are_dropped_by_the_board_crc() {
     let tb = run_pings(cfg);
     // The experiment may stall (a lost ping is never retransmitted — UDP!)
     // but nothing corrupt may have been delivered.
-    assert_eq!(tb.verify_failures, 0, "corrupt data must never reach the app");
+    assert_eq!(
+        tb.verify_failures, 0,
+        "corrupt data must never reach the app"
+    );
     let corrupted: u64 = tb.links.iter().map(|l| l.cells_corrupted()).sum();
     assert!(corrupted > 0, "fault injection must have fired");
     let err_pdus: u64 = tb.nodes.iter().map(|n| n.driver.stats().err_pdus).sum();
     let crc_failed: u64 = tb.nodes.iter().map(|n| n.rx.stats().pdus_crc_failed).sum();
     assert!(crc_failed > 0, "the AAL CRC must have caught something");
-    assert_eq!(err_pdus, crc_failed, "every flagged PDU is recycled by the driver");
+    assert_eq!(
+        err_pdus, crc_failed,
+        "every flagged PDU is recycled by the driver"
+    );
 }
 
 #[test]

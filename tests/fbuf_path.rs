@@ -23,7 +23,10 @@ struct Rig {
 fn rig() -> Rig {
     let host = HostMachine::boot(MachineSpec::ds5000_200(), 31);
     let rx = RxProcessor::new(
-        RxConfig { buffer_bytes: BUF, ..RxConfig::paper_default() },
+        RxConfig {
+            buffer_bytes: BUF,
+            ..RxConfig::paper_default()
+        },
         DpramLayout::paper_default(),
     );
     let costs = FbufCosts::for_machine(&host);
@@ -43,8 +46,11 @@ fn stock_free_ring(rig: &mut Rig, path: u32, vci: Vci) -> FbufSource {
 }
 
 fn receive_pdu(rig: &mut Rig, vci: Vci, data: &[u8]) -> Descriptor {
-    let cells = Segmenter { framing: FramingMode::EndOfPdu, unit: SegmentUnit::Pdu }
-        .segment(vci, &[data]);
+    let cells = Segmenter {
+        framing: FramingMode::EndOfPdu,
+        unit: SegmentUnit::Pdu,
+    }
+    .segment(vci, &[data]);
     let mut t = SimTime::ZERO;
     let mut desc = None;
     for c in &cells {
@@ -81,7 +87,12 @@ fn first_pdu_uses_uncached_fbuf_then_path_warms_up() {
     assert_eq!(r.host.phys.read(desc.addr, data.len()), &data[..]);
 
     // Deliver to the app domain: first transfer pays the mapping...
-    let mut fb = osiris::fbuf::Fbuf { id: osiris::fbuf::FbufId(0), addr: desc.addr, len: BUF, cached_for: None };
+    let mut fb = osiris::fbuf::Fbuf {
+        id: osiris::fbuf::FbufId(0),
+        addr: desc.addr,
+        len: BUF,
+        cached_for: None,
+    };
     let g1 = r.fbufs.transfer(SimTime::ZERO, &mut r.host, &mut fb, path);
     let cold = g1.finish.since(g1.start);
     // ...and the buffer is now cached for the path.
@@ -130,6 +141,9 @@ fn sixteen_paths_stay_cached_the_seventeenth_evicts() {
     r.fbufs.release(fb);
     assert_eq!(r.fbufs.stats().evictions, 1, "the 17th path evicts the LRU");
     // The evicted path's next allocation falls back to the uncached pool.
-    let (_, src) = r.fbufs.alloc_for_path(1).expect("pool refilled by eviction");
+    let (_, src) = r
+        .fbufs
+        .alloc_for_path(1)
+        .expect("pool refilled by eviction");
     assert_eq!(src, FbufSource::Uncached);
 }

@@ -16,24 +16,40 @@ use osiris::sim::{SimDuration, SimRng, SimTime};
 fn sixty_interleaved_connections_reassemble_independently() {
     let mut host = HostMachine::boot(MachineSpec::ds5000_200(), 5);
     let mut rx = RxProcessor::new(
-        RxConfig { buffer_bytes: 4096, ..RxConfig::paper_default() },
+        RxConfig {
+            buffer_bytes: 4096,
+            ..RxConfig::paper_default()
+        },
         DpramLayout::paper_default(),
     );
     // One shared kernel page with a deep free ring (cell interleaving
     // means many PDUs are in flight at once).
     for i in 0..60u64 {
         rx.free_ring_mut(0)
-            .push(Descriptor::tx(PhysAddr(0x10_0000 + i * 0x1000), 4096, Vci(0), false))
+            .push(Descriptor::tx(
+                PhysAddr(0x10_0000 + i * 0x1000),
+                4096,
+                Vci(0),
+                false,
+            ))
             .unwrap();
     }
 
     // 60 connections, each sending one distinct message.
     let n_conn = 60u16;
-    let seg = Segmenter { framing: FramingMode::EndOfPdu, unit: SegmentUnit::Pdu };
+    let seg = Segmenter {
+        framing: FramingMode::EndOfPdu,
+        unit: SegmentUnit::Pdu,
+    };
     let mut streams: Vec<(usize, Vec<osiris::atm::Cell>)> = (0..n_conn)
         .map(|c| {
-            let data: Vec<u8> = (0..800).map(|i| ((i as u32 * (c as u32 + 3)) % 251) as u8).collect();
-            (0usize, seg.segment(Vci(100 + c), &data.chunks(800).collect::<Vec<_>>()))
+            let data: Vec<u8> = (0..800)
+                .map(|i| ((i as u32 * (c as u32 + 3)) % 251) as u8)
+                .collect();
+            (
+                0usize,
+                seg.segment(Vci(100 + c), &data.chunks(800).collect::<Vec<_>>()),
+            )
         })
         .collect();
 
@@ -45,14 +61,21 @@ fn sixty_interleaved_connections_reassemble_independently() {
     let total_cells: usize = streams.iter().map(|(_, cells)| cells.len()).sum();
     for _ in 0..total_cells {
         // Pick a stream with cells remaining.
-        let live: Vec<usize> =
-            (0..streams.len()).filter(|&i| streams[i].0 < streams[i].1.len()).collect();
+        let live: Vec<usize> = (0..streams.len())
+            .filter(|&i| streams[i].0 < streams[i].1.len())
+            .collect();
         let pick = live[rng.gen_range(live.len() as u64) as usize];
         let (pos, cells) = &mut streams[pick];
         let cell = cells[*pos].clone();
         *pos += 1;
-        let out =
-            rx.receive_cell(t, 0, &cell, &mut host.mem_sys, &mut host.cache, &mut host.phys);
+        let out = rx.receive_cell(
+            t,
+            0,
+            &cell,
+            &mut host.mem_sys,
+            &mut host.cache,
+            &mut host.phys,
+        );
         if let Some(info) = out.completed {
             assert!(info.crc_ok, "VCI {:?} failed CRC", info.vci);
             assert!(!info.dropped);
@@ -61,7 +84,10 @@ fn sixty_interleaved_connections_reassemble_independently() {
         }
         t += SimDuration::from_ns(700);
     }
-    assert_eq!(completed, n_conn as u64, "every connection's message completes");
+    assert_eq!(
+        completed, n_conn as u64,
+        "every connection's message completes"
+    );
     assert_eq!(rx.stats().pdus_delivered, n_conn as u64);
     assert_eq!(rx.stats().cells_rejected, 0);
 
@@ -74,7 +100,9 @@ fn sixty_interleaved_connections_reassemble_independently() {
         seen_vcis.insert(desc.vci);
         let got = host.phys.read(desc.addr, desc.len as usize);
         let c = desc.vci.0 - 100;
-        let expect: Vec<u8> = (0..800).map(|i| ((i as u32 * (c as u32 + 3)) % 251) as u8).collect();
+        let expect: Vec<u8> = (0..800)
+            .map(|i| ((i as u32 * (c as u32 + 3)) % 251) as u8)
+            .collect();
         assert_eq!(got, &expect[..], "VCI {} data intact", desc.vci.0);
     }
     assert_eq!(seen_vcis.len(), n_conn as usize);
@@ -86,7 +114,10 @@ fn early_demux_spreads_connections_over_pages() {
     // land on the right receive ring with no cross-talk.
     let mut host = HostMachine::boot(MachineSpec::dec3000_600(), 6);
     let mut rx = RxProcessor::new(
-        RxConfig { buffer_bytes: 4096, ..RxConfig::paper_default() },
+        RxConfig {
+            buffer_bytes: 4096,
+            ..RxConfig::paper_default()
+        },
         DpramLayout::paper_default(),
     );
     for page in 1..16usize {
@@ -102,11 +133,18 @@ fn early_demux_spreads_connections_over_pages() {
                 .unwrap();
         }
     }
-    let seg = Segmenter { framing: FramingMode::EndOfPdu, unit: SegmentUnit::Pdu };
+    let seg = Segmenter {
+        framing: FramingMode::EndOfPdu,
+        unit: SegmentUnit::Pdu,
+    };
     let mut all: Vec<(usize, osiris::atm::Cell)> = Vec::new();
     for page in 1..16usize {
         let data = vec![page as u8; 500];
-        for (i, c) in seg.segment(Vci(200 + page as u16), &[&data]).into_iter().enumerate() {
+        for (i, c) in seg
+            .segment(Vci(200 + page as u16), &[&data])
+            .into_iter()
+            .enumerate()
+        {
             all.push((i, c));
         }
     }
@@ -114,11 +152,22 @@ fn early_demux_spreads_connections_over_pages() {
     all.sort_by_key(|&(i, _)| i);
     let mut t = SimTime::ZERO;
     for (_, cell) in &all {
-        rx.receive_cell(t, 0, cell, &mut host.mem_sys, &mut host.cache, &mut host.phys);
+        rx.receive_cell(
+            t,
+            0,
+            cell,
+            &mut host.mem_sys,
+            &mut host.cache,
+            &mut host.phys,
+        );
         t += SimDuration::from_ns(700);
     }
     for page in 1..16usize {
-        assert_eq!(rx.rx_ring(page).len(), 1, "page {page} must hold exactly its PDU");
+        assert_eq!(
+            rx.rx_ring(page).len(),
+            1,
+            "page {page} must hold exactly its PDU"
+        );
         let desc = *rx.rx_ring(page).peek().unwrap();
         assert_eq!(desc.vci, Vci(200 + page as u16));
         assert_eq!(host.phys.read(desc.addr, 500), &vec![page as u8; 500][..]);

@@ -2,7 +2,7 @@
 //! skew source (per-port queueing) produced by actual cross traffic, not
 //! by injected jitter.
 
-use osiris::atm::sar::{FramingMode, ReassemblyMode, Reassembler, SegmentUnit, Segmenter};
+use osiris::atm::sar::{FramingMode, Reassembler, ReassemblyMode, SegmentUnit, Segmenter};
 use osiris::atm::switch::{Switch, SwitchSpec};
 use osiris::atm::Vci;
 use osiris::sim::{SimDuration, SimTime};
@@ -16,7 +16,11 @@ fn via_switch(
     coordinated: bool,
     framing: FramingMode,
 ) -> Vec<(usize, osiris::atm::Cell)> {
-    let spec = if coordinated { SwitchSpec::coordinated() } else { SwitchSpec::sts3c_16port() };
+    let spec = if coordinated {
+        SwitchSpec::coordinated()
+    } else {
+        SwitchSpec::sts3c_16port()
+    };
     let mut sw = Switch::new(spec);
     // Lane l travels VCI 10+l → port l (the stripe crosses distinct ports).
     for lane in 0..4u16 {
@@ -25,7 +29,11 @@ fn via_switch(
     sw.set_group(vec![0, 1, 2, 3]);
     sw.background_load(SimTime::ZERO, 1, cross);
 
-    let cells = Segmenter { framing, unit: SegmentUnit::Pdu }.segment(Vci(0), &[data]);
+    let cells = Segmenter {
+        framing,
+        unit: SegmentUnit::Pdu,
+    }
+    .segment(Vci(0), &[data]);
     let mut arrivals = Vec::new();
     for (i, mut cell) in cells.into_iter().enumerate() {
         let lane = i % 4;
@@ -57,7 +65,10 @@ fn switch_cross_traffic_skews_but_fourway_recovers() {
     // The loaded port's cells arrive late: global order is broken.
     let lanes_in_order: Vec<usize> = arrivals.iter().map(|&(l, _)| l).collect();
     let round_robin: Vec<usize> = (0..arrivals.len()).map(|i| i % 4).collect();
-    assert_ne!(lanes_in_order, round_robin, "cross traffic must reorder the stripe");
+    assert_ne!(
+        lanes_in_order, round_robin,
+        "cross traffic must reorder the stripe"
+    );
     // Four-way reassembly still yields the exact bytes.
     let (crc_ok, got) = reassemble(&arrivals).expect("completes");
     assert!(crc_ok);
