@@ -40,14 +40,19 @@ pub struct SwitchSpec {
 }
 
 impl SwitchSpec {
-    /// A 16-port STS-3c switch, uncoordinated (the real thing).
-    pub fn sts3c_16port() -> Self {
+    /// An STS-3c switch with `ports` output ports, uncoordinated.
+    pub fn sts3c(ports: usize) -> Self {
         SwitchSpec {
-            ports: 16,
+            ports,
             port_rate_bps: 155_520_000,
             fabric_latency: SimDuration::from_us(2),
             coordinated: false,
         }
+    }
+
+    /// A 16-port STS-3c switch, uncoordinated (the real thing).
+    pub fn sts3c_16port() -> Self {
+        Self::sts3c(16)
     }
 
     /// The same switch with coordinated port groups.
@@ -88,6 +93,9 @@ struct PortCounters {
 pub struct Switch {
     spec: SwitchSpec,
     routes: HashMap<Vci, usize>,
+    /// Striped routes: a VCI whose four lanes land on a contiguous block
+    /// of output ports starting at the stored base (multi-node fabrics).
+    lane_routes: HashMap<Vci, usize>,
     outputs: Vec<FifoResource>,
     stats: Vec<PortCounters>,
     /// Port group used by the coordinated mode (all members share fate).
@@ -119,6 +127,7 @@ impl Switch {
                 })
                 .collect(),
             routes: HashMap::new(),
+            lane_routes: HashMap::new(),
             group: Vec::new(),
             unrouted: p.counter("unrouted"),
             spec,
@@ -132,6 +141,22 @@ impl Switch {
     pub fn route(&mut self, vci: Vci, port: usize) {
         assert!(port < self.spec.ports, "port {port} out of range");
         self.routes.insert(vci, port);
+    }
+
+    /// Installs a striped route: cells of `vci` arriving on lane `l` leave
+    /// through port `base + l`. This is how a multi-node fabric maps one
+    /// connection's four lanes onto the destination node's port block
+    /// without retagging cells with per-lane transit VCIs.
+    ///
+    /// # Panics
+    /// Panics if any port of the block is out of range.
+    pub fn route_group(&mut self, vci: Vci, base: usize, lanes: usize) {
+        assert!(
+            base + lanes <= self.spec.ports,
+            "port block {base}..{} out of range",
+            base + lanes
+        );
+        self.lane_routes.insert(vci, base);
     }
 
     /// Declares a striped port group (used by coordinated mode).
@@ -150,6 +175,31 @@ impl Switch {
             self.unrouted.incr();
             return None;
         };
+        Some((port, self.depart(now, port)))
+    }
+
+    /// Forwards a cell that arrived on stripe lane `lane`, using the
+    /// striped routes installed by [`Switch::route_group`]. Returns the
+    /// output port (`base + lane`) and the departure time, or `None` if
+    /// the VCI has no striped route (the cell is dropped).
+    pub fn forward_on_lane(
+        &mut self,
+        now: SimTime,
+        cell: &Cell,
+        lane: usize,
+    ) -> Option<(usize, SimTime)> {
+        let Some(&base) = self.lane_routes.get(&cell.header.vci) else {
+            self.unrouted.incr();
+            return None;
+        };
+        let port = base + lane;
+        assert!(port < self.spec.ports, "lane {lane} overruns port block");
+        Some((port, self.depart(now, port)))
+    }
+
+    /// Queues one cell on `port`'s output and returns its departure time
+    /// (after queueing + serialisation + fabric latency).
+    fn depart(&mut self, now: SimTime, port: usize) -> SimTime {
         let at = now + self.spec.fabric_latency;
         let grant = self.outputs[port].acquire(at, self.spec.cell_time());
         self.stats[port].cells.incr();
@@ -168,7 +218,7 @@ impl Switch {
                 .unwrap_or(departure);
             departure = departure.max(worst);
         }
-        Some((port, departure))
+        departure
     }
 
     /// Occupies an output port with cross traffic for `cells` cell times
@@ -263,6 +313,47 @@ mod tests {
         // ...but every lane is as slow as the loaded one — "negating the
         // advantage of striping".
         assert!(*min > SimTime::from_us(50));
+    }
+
+    #[test]
+    fn striped_routes_spread_lanes_over_a_port_block() {
+        let mut sw = Switch::new(SwitchSpec::sts3c(8));
+        // Two connections to two different "nodes": VCI 100 → ports 0..4,
+        // VCI 101 → ports 4..8, no per-lane transit retagging needed.
+        sw.route_group(Vci(100), 0, 4);
+        sw.route_group(Vci(101), 4, 4);
+        for lane in 0..4usize {
+            let (p0, _) = sw
+                .forward_on_lane(SimTime::ZERO, &cell(100, 0), lane)
+                .unwrap();
+            let (p1, _) = sw
+                .forward_on_lane(SimTime::ZERO, &cell(101, 0), lane)
+                .unwrap();
+            assert_eq!(p0, lane);
+            assert_eq!(p1, 4 + lane);
+        }
+        // A VCI with no striped route is dropped and counted.
+        assert!(sw.forward_on_lane(SimTime::ZERO, &cell(7, 0), 0).is_none());
+        assert_eq!(sw.unrouted(), 1);
+    }
+
+    #[test]
+    fn striped_route_ports_are_fifo_under_contention() {
+        // Incast: two VCIs share the same destination block (same node).
+        let mut sw = Switch::new(SwitchSpec::sts3c(4));
+        sw.route_group(Vci(100), 0, 4);
+        sw.route_group(Vci(101), 0, 4);
+        let mut last = SimTime::ZERO;
+        for seq in 0..20u16 {
+            let vci = 100 + (seq % 2);
+            let (port, dep) = sw
+                .forward_on_lane(SimTime::ZERO, &cell(vci, seq), 2)
+                .unwrap();
+            assert_eq!(port, 2);
+            assert!(dep > last, "shared output port must serialise in order");
+            last = dep;
+        }
+        assert_eq!(sw.port_stats(2).cells, 20);
     }
 
     #[test]

@@ -83,6 +83,10 @@ pub struct TestbedConfig {
     pub rx_buffers: usize,
     /// Application placement.
     pub data_path: DataPath,
+    /// Route the pair's cells through the AURORA switch model instead of
+    /// back-to-back links (ablation; incast/fan-out scenarios always
+    /// use the switch).
+    pub switched_fabric: bool,
     /// Experiment seed (frame-allocator fragmentation, skew jitter).
     pub seed: u64,
     /// Verify delivered payloads against the sent pattern.
@@ -124,6 +128,7 @@ impl TestbedConfig {
             buffer_bytes: 16 * 1024 + 64,
             rx_buffers: 48,
             data_path: DataPath::Kernel,
+            switched_fabric: false,
             seed: 42,
             verify_data: true,
             touch: TouchMode::None,

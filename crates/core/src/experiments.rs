@@ -6,20 +6,20 @@ use osiris_atm::sar::ReassemblyMode;
 use osiris_board::dma::DmaMode;
 use osiris_host::machine::MachineSpec;
 use osiris_mem::BusSpec;
+use osiris_proto::wire::{IP_HEADER_BYTES, UDP_HEADER_BYTES};
 use osiris_sim::stats::{LatencyStats, ThroughputMeter};
-use osiris_sim::{SimTime, Simulation};
+use osiris_sim::SimTime;
 
-use crate::config::TestbedConfig;
-use crate::testbed::{Event, Testbed};
+use crate::config::{Layer, TestbedConfig};
+use crate::scenario::Scenario;
+use crate::testbed::Testbed;
 
 /// Hard wall for runaway simulations (virtual time).
 const DEADLINE: SimTime = SimTime::from_secs(30);
 
 /// Table 1: round-trip latency between two test programs.
 pub fn round_trip_latency(cfg: &TestbedConfig) -> LatencyStats {
-    let tb = Testbed::new_pair(cfg.clone());
-    let mut sim = Simulation::new(tb);
-    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    let mut sim = Scenario::Pair.launch(cfg.clone());
     loop {
         if sim.model.done || sim.now() > DEADLINE {
             break;
@@ -49,10 +49,8 @@ pub struct RxThroughputReport {
 /// Figures 2 and 3: receive-side throughput with the receive processor
 /// generating fictitious PDUs as fast as the host absorbs them.
 pub fn receive_throughput(cfg: &TestbedConfig) -> RxThroughputReport {
-    let mut tb = Testbed::new_rx_bench(cfg.clone());
-    tb.meter = ThroughputMeter::new(cfg.warmup);
-    let mut sim = Simulation::new(tb);
-    sim.queue.push(SimTime::ZERO, Event::GenKick);
+    let mut sim = Scenario::RxBench.launch(cfg.clone());
+    sim.model.meter = ThroughputMeter::new(cfg.warmup);
     loop {
         if sim.model.done || sim.now() > DEADLINE {
             break;
@@ -84,11 +82,8 @@ pub fn receive_throughput(cfg: &TestbedConfig) -> RxThroughputReport {
 /// Figure 4: transmit-side throughput (host streams; cells leave the
 /// board into the link and are not received by anyone).
 pub fn transmit_throughput(cfg: &TestbedConfig) -> f64 {
-    let mut tb = Testbed::new_tx_bench(cfg.clone());
-    tb.meter = ThroughputMeter::new(cfg.warmup);
-    let mut sim = Simulation::new(tb);
-    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
-    sim.model.nodes_remaining_decrement();
+    let mut sim = Scenario::TxBench.launch(cfg.clone());
+    sim.model.meter = ThroughputMeter::new(cfg.warmup);
     loop {
         if sim.model.done || sim.now() > DEADLINE {
             break;
@@ -111,6 +106,94 @@ impl Testbed {
         if let Some(n) = self.nodes.first_mut() {
             n.decrement_remaining();
         }
+    }
+}
+
+/// The incast result bundle (N senders onto one receive path through the
+/// switched fabric).
+#[derive(Debug, Clone)]
+pub struct IncastReport {
+    /// Number of sending nodes.
+    pub senders: usize,
+    /// Aggregate goodput delivered at the receiver.
+    pub mbps: f64,
+    /// Messages delivered at the receiver.
+    pub delivered: u64,
+    /// PDUs shed on the receiver's board for lack of free buffers.
+    pub dropped_pdus: u64,
+    /// Interrupts taken per delivered PDU at the receiver.
+    pub interrupts_per_pdu: f64,
+    /// Worst accumulated queueing on any of the receiver's switch ports.
+    pub max_port_queueing_us: f64,
+    /// Cells the switch forwarded toward the receiver.
+    pub switch_cells: u64,
+}
+
+/// N-to-1 incast through the switched fabric: every sender streams
+/// `cfg.messages` messages at one receiver; the run completes when the
+/// receiver has absorbed all of them. Uses four-way reassembly — with
+/// several flows contending for the receiver's port block, per-lane
+/// delays diverge and in-order reassembly would reject cells the same
+/// way §2.6's skewed links do.
+///
+/// Messages must not IP-fragment (UDP/IP) and must span all four lanes
+/// (raw ATM): four-way framing infers PDU boundaries per lane, so a
+/// short PDU — like the trailing fragment of an oversized UDP message —
+/// has cells on lane 0 only, and under fan-in queueing the next
+/// message's lane-1..3 cells can overtake it and be misattributed.
+/// This is §2.6's bounded-skew assumption; an uncoordinated switch
+/// under incast violates it, so the experiment rejects such shapes up
+/// front rather than silently stalling.
+pub fn incast_throughput(cfg: &TestbedConfig, senders: usize) -> IncastReport {
+    let mut cfg = cfg.clone();
+    cfg.reassembly = ReassemblyMode::FourWay { lanes: 4 };
+    match cfg.layer {
+        Layer::UdpIp => assert!(
+            cfg.msg_size + UDP_HEADER_BYTES as u64 <= (cfg.mtu as usize - IP_HEADER_BYTES) as u64,
+            "incast requires single-fragment messages: {} B + UDP header \
+             exceeds the {} B fragment payload",
+            cfg.msg_size,
+            cfg.mtu as usize - IP_HEADER_BYTES
+        ),
+        Layer::RawAtm => assert!(
+            cfg.msg_size.div_ceil(44) >= 4,
+            "incast requires PDUs that span all four lanes"
+        ),
+    }
+    let mut sim = Scenario::Incast { senders }.launch(cfg.clone());
+    sim.model.meter = ThroughputMeter::new(cfg.warmup);
+    loop {
+        if sim.model.done || sim.now() > DEADLINE {
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    let m = &sim.model;
+    assert!(m.done, "incast did not complete ({senders} senders)");
+    assert_eq!(m.verify_failures, 0, "payload corruption");
+    let snap = m.snapshot();
+    let recv = format!("node{senders}");
+    let intr = snap.counter(&format!("{recv}.host.interrupts_taken"));
+    let pdus = snap
+        .counter(&format!("{recv}.board.rx.pdus_delivered"))
+        .max(1);
+    // The receiver's port block on the switch.
+    let lanes = 4usize;
+    let (mut cells, mut worst_q) = (0u64, 0u64);
+    for p in senders * lanes..(senders + 1) * lanes {
+        cells += snap.counter(&format!("fabric.switch.port{p}.cells"));
+        worst_q = worst_q.max(snap.counter(&format!("fabric.switch.port{p}.queueing_ps")));
+    }
+    IncastReport {
+        senders,
+        mbps: m.meter.mbps(),
+        delivered: snap.counter(&format!("{recv}.stack.delivered")),
+        dropped_pdus: snap.counter(&format!("{recv}.board.rx.pdus_dropped_no_buffer")),
+        interrupts_per_pdu: intr as f64 / pdus as f64,
+        max_port_queueing_us: worst_q as f64 / 1e6,
+        switch_cells: cells,
     }
 }
 
@@ -155,9 +238,7 @@ pub fn skew_vs_merging(machine: MachineSpec) -> (f64, f64) {
             cfg.skew = osiris_atm::stripe::SkewConfig::mux_skew(17);
             cfg.reassembly = ReassemblyMode::FourWay { lanes: 4 };
         }
-        let tb = Testbed::new_pair(cfg);
-        let mut sim = Simulation::new(tb);
-        sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+        let mut sim = Scenario::Pair.launch(cfg);
         loop {
             if sim.model.done || sim.now() > DEADLINE {
                 break;
@@ -347,10 +428,8 @@ pub fn virtual_dma_setup_cost(machine: MachineSpec, data_pages: u64) -> (f64, f6
 pub fn latency_budget(cfg: &TestbedConfig) -> Vec<(&'static str, f64)> {
     let mut cfg = cfg.clone();
     cfg.messages = 1;
-    let mut tb = Testbed::new_pair(cfg);
-    tb.timeline.set_enabled(true);
-    let mut sim = Simulation::new(tb);
-    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    let mut sim = Scenario::Pair.launch(cfg);
+    sim.model.timeline.set_enabled(true);
     loop {
         if sim.model.done || sim.now() > DEADLINE {
             break;

@@ -1,0 +1,173 @@
+//! Cell transport between nodes — the layer under the event dispatcher.
+//!
+//! A [`Fabric`] owns every node's transmit [`StripedLink`] and decides
+//! where cells land. Two implementations:
+//!
+//! * [`BackToBack`] — §4's measurement setup: each node's link feeds the
+//!   other node directly (exactly two nodes; a single-node bench's cells
+//!   vanish at the far end).
+//! * [`SwitchedFabric`] — an output-queued AURORA switch in the middle
+//!   ([`osiris_atm::switch::Switch`]): each node's four stripe lanes own
+//!   a contiguous block of switch ports, connections are routed by VCI,
+//!   and per-port cross traffic can be injected to model contention.
+
+use osiris_atm::stripe::StripedLink;
+use osiris_atm::switch::{Switch, SwitchSpec};
+use osiris_atm::{Cell, LinkSpec, Vci};
+use osiris_sim::{Registry, SimTime};
+
+use crate::config::TestbedConfig;
+use crate::node::NodeId;
+
+/// The fabric's verdict on one transmitted cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Delivery {
+    /// Destination node.
+    pub to: NodeId,
+    /// Physical lane the cell arrives on at the destination.
+    pub lane: usize,
+    /// Arrival time at the destination's receive FIFO.
+    pub at: SimTime,
+}
+
+/// Transports cells between nodes.
+pub trait Fabric: std::fmt::Debug {
+    /// Number of nodes attached.
+    fn node_count(&self) -> usize;
+
+    /// Every node's transmit link, indexed by node (read-only view).
+    fn links(&self) -> &[StripedLink];
+
+    /// The link node `from` transmits into (the transmit processor
+    /// serialises cells onto it; lane skew is applied here).
+    fn link_mut(&mut self, from: NodeId) -> &mut StripedLink;
+
+    /// Routes one cell that left node `from` on `lane` at time `at`.
+    /// `None` means the cell vanishes (no peer, or no route installed).
+    fn route(&mut self, from: NodeId, at: SimTime, lane: usize, cell: &Cell) -> Option<Delivery>;
+
+    /// The switch in the middle, if this fabric has one.
+    fn switch_mut(&mut self) -> Option<&mut Switch> {
+        None
+    }
+}
+
+/// Per-node transmit links with per-node deterministic skew seeds —
+/// identical wiring for every fabric.
+fn build_links(cfg: &TestbedConfig, n: usize, registry: &Registry) -> Vec<StripedLink> {
+    (0..n)
+        .map(|i| {
+            let mut skew = cfg.skew.clone();
+            skew.seed = cfg.seed.wrapping_add(1000 + i as u64);
+            StripedLink::with_probe(
+                LinkSpec::sts3c_back_to_back(),
+                skew,
+                &registry.probe(&format!("node{i}")),
+            )
+        })
+        .collect()
+}
+
+/// Two boards linked back-to-back (or one board talking to nobody).
+#[derive(Debug)]
+pub struct BackToBack {
+    links: Vec<StripedLink>,
+}
+
+impl BackToBack {
+    /// Direct links for `n` nodes (`n` ≤ 2 is meaningful; cells from a
+    /// lone node vanish, matching the transmit bench).
+    pub fn new(cfg: &TestbedConfig, registry: &Registry, n: usize) -> Self {
+        BackToBack {
+            links: build_links(cfg, n, registry),
+        }
+    }
+}
+
+impl Fabric for BackToBack {
+    fn node_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn links(&self) -> &[StripedLink] {
+        &self.links
+    }
+
+    fn link_mut(&mut self, from: NodeId) -> &mut StripedLink {
+        &mut self.links[from.0]
+    }
+
+    fn route(&mut self, from: NodeId, at: SimTime, lane: usize, _cell: &Cell) -> Option<Delivery> {
+        (self.links.len() == 2).then_some(Delivery {
+            to: NodeId(1 - from.0),
+            lane,
+            at,
+        })
+    }
+}
+
+/// An output-queued switch between the nodes. Node `i`'s four stripe
+/// lanes map onto switch ports `4i..4i+4`; a connection's receiver owns
+/// its VCI and [`SwitchedFabric::connect`] installs the striped route.
+#[derive(Debug)]
+pub struct SwitchedFabric {
+    links: Vec<StripedLink>,
+    lanes: usize,
+    switch: Switch,
+}
+
+impl SwitchedFabric {
+    /// A switch with one port block per node, publishing port counters
+    /// under `fabric.switch.port<i>.*` in the testbed registry.
+    pub fn new(cfg: &TestbedConfig, registry: &Registry, n: usize) -> Self {
+        let links = build_links(cfg, n, registry);
+        let lanes = links[0].lanes();
+        let switch = Switch::with_probe(SwitchSpec::sts3c(n * lanes), &registry.probe("fabric"));
+        SwitchedFabric {
+            links,
+            lanes,
+            switch,
+        }
+    }
+
+    /// Routes connection `vci` to node `to`'s port block.
+    pub fn connect(&mut self, vci: Vci, to: NodeId) {
+        self.switch.route_group(vci, to.0 * self.lanes, self.lanes);
+    }
+
+    /// Injects `cells` cell times of cross traffic on one lane of node
+    /// `to`'s port block, starting at `now` (other flows contending for
+    /// the receiver's output port).
+    pub fn cross_traffic(&mut self, now: SimTime, to: NodeId, lane: usize, cells: u64) {
+        self.switch
+            .background_load(now, to.0 * self.lanes + lane, cells);
+    }
+}
+
+impl Fabric for SwitchedFabric {
+    fn node_count(&self) -> usize {
+        self.links.len()
+    }
+
+    fn links(&self) -> &[StripedLink] {
+        &self.links
+    }
+
+    fn link_mut(&mut self, from: NodeId) -> &mut StripedLink {
+        &mut self.links[from.0]
+    }
+
+    fn route(&mut self, _from: NodeId, at: SimTime, lane: usize, cell: &Cell) -> Option<Delivery> {
+        self.switch
+            .forward_on_lane(at, cell, lane)
+            .map(|(port, departure)| Delivery {
+                to: NodeId(port / self.lanes),
+                lane: port % self.lanes,
+                at: departure,
+            })
+    }
+
+    fn switch_mut(&mut self) -> Option<&mut Switch> {
+        Some(&mut self.switch)
+    }
+}

@@ -6,9 +6,17 @@
 //!   generation, protocol layer, DMA transfer length, cache strategy,
 //!   interrupt policy, reassembly strategy, link skew, UDP checksumming,
 //!   data path (in-kernel / user-via-kernel / application device channel).
-//! * [`testbed::Testbed`] — the discrete-event model: one or two complete
-//!   hosts (CPU + cache + TURBOchannel + kernel driver + UDP/IP stack),
-//!   OSIRIS boards (both halves), and the 4 × 155 Mbps striped link.
+//! * [`node::HostNode`] — one complete host (CPU + cache + TURBOchannel,
+//!   kernel driver, UDP/IP stack, both OSIRIS board halves), addressed
+//!   by a typed [`node::NodeId`].
+//! * [`fabric`] — cell transport between nodes: back-to-back striped
+//!   links ([`fabric::BackToBack`]) or an output-queued AURORA switch
+//!   routing by VCI ([`fabric::SwitchedFabric`]).
+//! * [`scenario::Scenario`] — declarative topology + workload (`Pair`,
+//!   `RxBench`, `TxBench`, `Incast`, `FanOut`) that assembles and seeds
+//!   a testbed.
+//! * [`testbed::Testbed`] — the discrete-event dispatcher over nodes and
+//!   the fabric.
 //! * [`experiments`] — the canned experiment runners that regenerate
 //!   Table 1 and Figures 2–4, plus the "lessons" micro-experiments
 //!   (interrupt suppression, DMA ceilings, PIO vs DMA, buffer
@@ -32,13 +40,20 @@
 
 pub mod config;
 pub mod experiments;
+pub mod fabric;
+pub mod node;
 pub mod report;
+pub mod scenario;
 pub mod testbed;
 
 pub use config::{DataPath, Layer, TestbedConfig};
 pub use experiments::{
-    receive_throughput, round_trip_latency, transmit_throughput, RxThroughputReport,
+    incast_throughput, receive_throughput, round_trip_latency, transmit_throughput, IncastReport,
+    RxThroughputReport,
 };
+pub use fabric::{BackToBack, Delivery, Fabric, SwitchedFabric};
+pub use node::{HostNode, NodeId, Role};
+pub use scenario::Scenario;
 pub use testbed::Testbed;
 
 // Re-export the substrate crates so downstream users need one dependency.

@@ -1,0 +1,361 @@
+//! Declarative topology + workload descriptions.
+//!
+//! A [`Scenario`] names a shape (how many nodes, which fabric, which
+//! VCIs connect whom) and a workload (who sends, who absorbs, when the
+//! run is complete). [`Scenario::build`] assembles the [`Testbed`];
+//! [`Scenario::launch`] additionally wraps it in a
+//! [`osiris_sim::Simulation`], attaches the event-queue probe, and seeds
+//! the initial events — the way every experiment starts.
+
+use osiris_adc::AdcManager;
+use osiris_atm::Vci;
+use osiris_sim::stats::{LatencyStats, ThroughputMeter};
+use osiris_sim::{Registry, SimDuration, SimTime, Simulation, Timeline, Trace};
+
+use crate::config::{Layer, TestbedConfig};
+use crate::fabric::{BackToBack, Fabric, SwitchedFabric};
+use crate::node::{Endpoint, HostNode, NodeId, Role};
+use crate::testbed::{Event, Testbed};
+
+/// A topology + workload the testbed can assemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Two hosts, full duplex: node 0 pings, node 1 echoes (Table 1).
+    Pair,
+    /// One host absorbing fictitious PDUs from its own receive processor
+    /// (Figures 2 and 3).
+    RxBench,
+    /// One host streaming out; cells vanish at the far end (Figure 4).
+    TxBench,
+    /// `senders` sources all streaming at one receiver through the
+    /// switched fabric — the N-to-1 workload where free-ring pressure
+    /// and interrupt suppression actually bite.
+    Incast {
+        /// Number of sending nodes (the receiver is one more node).
+        senders: usize,
+    },
+    /// One source spraying messages round-robin at `receivers` sinks
+    /// through the switched fabric (raw ATM only).
+    FanOut {
+        /// Number of receiving nodes (the source is one more node).
+        receivers: usize,
+    },
+}
+
+impl Scenario {
+    /// Number of nodes this scenario assembles.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            Scenario::Pair => 2,
+            Scenario::RxBench | Scenario::TxBench => 1,
+            Scenario::Incast { senders } => senders + 1,
+            Scenario::FanOut { receivers } => receivers + 1,
+        }
+    }
+
+    /// The connection table: `endpoints[i]` are node `i`'s connections.
+    fn endpoints(&self, cfg: &TestbedConfig) -> Vec<Vec<Endpoint>> {
+        match *self {
+            Scenario::Pair => (0..2)
+                .map(|i| {
+                    // Back-to-back, both directions use VCI 100 (separate
+                    // physical links); through the switch each receiver
+                    // owns a distinct VCI so directions stay separable.
+                    let (tx_vci, rx_vci) = if cfg.switched_fabric {
+                        (Vci(100 + (1 - i) as u16), Vci(100 + i as u16))
+                    } else {
+                        (Vci(100), Vci(100))
+                    };
+                    vec![Endpoint {
+                        tx_vci,
+                        rx_vci,
+                        local_port: if i == 0 { 1000 } else { 2000 },
+                        remote_port: if i == 0 { 2000 } else { 1000 },
+                        remote_host: 1 - i as u16,
+                        src: NodeId(1 - i),
+                    }]
+                })
+                .collect(),
+            Scenario::RxBench | Scenario::TxBench => vec![vec![Endpoint {
+                tx_vci: Vci(100),
+                rx_vci: Vci(100),
+                local_port: 1000,
+                remote_port: 2000,
+                remote_host: 1,
+                // The bench node's traffic carries its own pattern.
+                src: NodeId(0),
+            }]],
+            Scenario::Incast { senders } => {
+                let rcv = NodeId(senders);
+                let mut eps: Vec<Vec<Endpoint>> = (0..senders)
+                    .map(|s| {
+                        vec![Endpoint {
+                            tx_vci: Vci(100 + s as u16),
+                            rx_vci: Vci(100 + s as u16),
+                            local_port: 2000 + s as u16,
+                            remote_port: 1000,
+                            remote_host: senders as u16,
+                            src: rcv,
+                        }]
+                    })
+                    .collect();
+                eps.push(
+                    (0..senders)
+                        .map(|s| Endpoint {
+                            tx_vci: Vci(100 + s as u16),
+                            rx_vci: Vci(100 + s as u16),
+                            local_port: 1000,
+                            remote_port: 2000 + s as u16,
+                            remote_host: s as u16,
+                            src: NodeId(s),
+                        })
+                        .collect(),
+                );
+                eps
+            }
+            Scenario::FanOut { receivers } => {
+                let mut eps: Vec<Vec<Endpoint>> = vec![(1..=receivers)
+                    .map(|j| Endpoint {
+                        tx_vci: Vci(100 + j as u16),
+                        rx_vci: Vci(100 + j as u16),
+                        local_port: 1000,
+                        remote_port: 2000 + j as u16,
+                        remote_host: j as u16,
+                        src: NodeId(j),
+                    })
+                    .collect()];
+                for j in 1..=receivers {
+                    eps.push(vec![Endpoint {
+                        tx_vci: Vci(100 + j as u16),
+                        rx_vci: Vci(100 + j as u16),
+                        local_port: 2000 + j as u16,
+                        remote_port: 1000,
+                        remote_host: 0,
+                        src: NodeId(0),
+                    }]);
+                }
+                eps
+            }
+        }
+    }
+
+    /// Assembles the testbed: nodes, fabric, roles, completion rule.
+    pub fn build(&self, cfg: TestbedConfig) -> Testbed {
+        match *self {
+            Scenario::Incast { senders } => assert!(senders >= 1, "incast needs a sender"),
+            Scenario::FanOut { receivers } => {
+                assert!(receivers >= 1, "fan-out needs a receiver");
+                assert_eq!(
+                    cfg.layer,
+                    Layer::RawAtm,
+                    "fan-out sprays one source at many remotes; the UDP \
+                     path binding is per-connection (use RawAtm)"
+                );
+            }
+            _ => {}
+        }
+        let n = self.node_count();
+        let registry = Registry::new();
+        let endpoints = self.endpoints(&cfg);
+        let mut nodes: Vec<HostNode> = Vec::with_capacity(n);
+        let mut adc_mgrs: Vec<AdcManager> = Vec::new();
+        for (i, eps) in endpoints.iter().enumerate() {
+            let (node, adc) = HostNode::build(&cfg, NodeId(i), &registry, eps);
+            nodes.push(node);
+            if let Some(m) = adc {
+                adc_mgrs.push(m);
+            }
+        }
+
+        // The fabric: back-to-back links by default; a switch when the
+        // scenario (or the config, for pairs) asks for one.
+        let switched = matches!(self, Scenario::Incast { .. } | Scenario::FanOut { .. })
+            || (cfg.switched_fabric && *self == Scenario::Pair);
+        let fabric: Box<dyn Fabric> = if switched {
+            let mut f = SwitchedFabric::new(&cfg, &registry, n);
+            // Each connection's VCI routes to the node that binds it.
+            match *self {
+                Scenario::Pair => {
+                    for i in 0..2 {
+                        f.connect(Vci(100 + i as u16), NodeId(i));
+                    }
+                }
+                Scenario::Incast { senders } => {
+                    for s in 0..senders {
+                        f.connect(Vci(100 + s as u16), NodeId(senders));
+                    }
+                }
+                Scenario::FanOut { receivers } => {
+                    for j in 1..=receivers {
+                        f.connect(Vci(100 + j as u16), NodeId(j));
+                    }
+                }
+                Scenario::RxBench | Scenario::TxBench => {}
+            }
+            Box::new(f)
+        } else {
+            Box::new(BackToBack::new(&cfg, &registry, n))
+        };
+
+        let sim_probe = registry.probe("sim");
+        let trace = Trace::with_probe(cfg.sim.trace_capacity, &sim_probe);
+        let timeline = Timeline::with_probe(cfg.sim.timeline_capacity, &sim_probe);
+
+        // The early-visibility bound (modelling note in `testbed`): one
+        // receive DMA grant over the largest transfer the DMA mode (or
+        // failing that, a whole page) permits.
+        let max_xfer = cfg
+            .rx_dma
+            .max_len()
+            .map(u64::from)
+            .unwrap_or(cfg.machine.page_size as u64)
+            .min(cfg.buffer_bytes as u64)
+            .max(1);
+        let drain_ahead_bound = nodes[0].host.mem_sys.spec.dma_write_time(max_xfer);
+
+        let mut tb = Testbed {
+            cfg,
+            nodes,
+            fabric,
+            latency: LatencyStats::new(),
+            meter: ThroughputMeter::new(0),
+            done: false,
+            verify_failures: 0,
+            adc: adc_mgrs,
+            trace,
+            registry,
+            timeline,
+            max_drain_ahead: SimDuration::ZERO,
+            ping_sent_at: None,
+            deliver_to_meter: false,
+            tx_meter: false,
+            expected_deliveries: 0,
+            delivered_count: 0,
+            drain_ahead_bound,
+        };
+
+        // Workload: roles, budgets, completion rule.
+        match *self {
+            Scenario::Pair => {
+                tb.nodes[0].role = Role::PingClient;
+                tb.nodes[0].remaining = tb.cfg.messages;
+                tb.nodes[1].role = Role::PongServer;
+            }
+            Scenario::RxBench => {
+                tb.nodes[0].role = Role::Generator;
+                tb.nodes[0].remaining = tb.cfg.messages;
+                tb.deliver_to_meter = true;
+            }
+            Scenario::TxBench => {
+                tb.nodes[0].role = Role::Source;
+                tb.nodes[0].remaining = tb.cfg.messages;
+                tb.tx_meter = true;
+            }
+            Scenario::Incast { senders } => {
+                for s in 0..senders {
+                    tb.nodes[s].role = Role::Source;
+                    tb.nodes[s].remaining = tb.cfg.messages;
+                }
+                tb.nodes[senders].role = Role::Sink;
+                tb.deliver_to_meter = true;
+                tb.expected_deliveries = senders as u64 * tb.cfg.messages;
+            }
+            Scenario::FanOut { receivers } => {
+                tb.nodes[0].role = Role::Source;
+                tb.nodes[0].remaining = tb.cfg.messages;
+                // The source rotates over its connections per message.
+                tb.nodes[0].tx_vcis = (1..=receivers).map(|j| Vci(100 + j as u16)).collect();
+                for j in 1..=receivers {
+                    tb.nodes[j].role = Role::Sink;
+                }
+                tb.deliver_to_meter = true;
+                tb.expected_deliveries = tb.cfg.messages;
+            }
+        }
+        tb
+    }
+
+    /// Builds the testbed, wraps it in a simulation, attaches the
+    /// event-queue probe (`engine.events.scheduled`), and seeds the
+    /// scenario's initial events.
+    pub fn launch(&self, cfg: TestbedConfig) -> Simulation<Testbed> {
+        let tb = self.build(cfg);
+        let mut sim = Simulation::new(tb);
+        sim.queue.attach_probe(&sim.model.registry.probe("engine"));
+        match *self {
+            Scenario::Pair => {
+                sim.queue
+                    .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
+            }
+            Scenario::RxBench => {
+                sim.queue.push(SimTime::ZERO, Event::GenKick);
+            }
+            Scenario::TxBench | Scenario::FanOut { .. } => {
+                sim.queue
+                    .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
+                // The seeded AppSend is message 1.
+                sim.model.nodes[0].decrement_remaining();
+            }
+            Scenario::Incast { senders } => {
+                for s in 0..senders {
+                    sim.queue
+                        .push(SimTime::ZERO, Event::AppSend { host: NodeId(s) });
+                    sim.model.nodes[s].decrement_remaining();
+                }
+            }
+        }
+        sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_counts() {
+        assert_eq!(Scenario::Pair.node_count(), 2);
+        assert_eq!(Scenario::RxBench.node_count(), 1);
+        assert_eq!(Scenario::Incast { senders: 4 }.node_count(), 5);
+        assert_eq!(Scenario::FanOut { receivers: 3 }.node_count(), 4);
+    }
+
+    #[test]
+    fn pair_build_matches_legacy_constructor_shape() {
+        let tb = Scenario::Pair.build(TestbedConfig::ds5000_200_udp());
+        assert_eq!(tb.nodes.len(), 2);
+        assert_eq!(tb.nodes[0].role, Role::PingClient);
+        assert_eq!(tb.nodes[1].role, Role::PongServer);
+        assert_eq!(tb.nodes[0].vci, Vci(100));
+        assert_eq!(tb.nodes[1].vci, Vci(100));
+        assert_eq!(tb.fabric.node_count(), 2);
+    }
+
+    #[test]
+    fn incast_build_assigns_distinct_vcis_per_sender() {
+        let tb = Scenario::Incast { senders: 4 }.build(TestbedConfig::ds5000_200_udp());
+        assert_eq!(tb.nodes.len(), 5);
+        for s in 0..4 {
+            assert_eq!(tb.nodes[s].role, Role::Source);
+            assert_eq!(tb.nodes[s].vci, Vci(100 + s as u16));
+        }
+        assert_eq!(tb.nodes[4].role, Role::Sink);
+        // The receiver binds every sender's VCI.
+        for s in 0..4u16 {
+            assert!(tb.nodes[4].src_of_vci.contains_key(&Vci(100 + s)));
+        }
+    }
+
+    #[test]
+    fn launch_attaches_the_event_queue_probe() {
+        let sim = Scenario::Pair.launch(TestbedConfig::ds5000_200_udp());
+        assert_eq!(
+            sim.model
+                .registry
+                .snapshot()
+                .counter("engine.events.scheduled"),
+            sim.queue.total_pushed()
+        );
+        assert_eq!(sim.queue.total_pushed(), 1);
+    }
+}

@@ -60,6 +60,9 @@ pub enum RxVerdict {
     Incomplete,
     /// A whole datagram was delivered to the application.
     Deliver {
+        /// Source host (the IP header's model-level address), so the
+        /// application can tell senders apart on a fan-in path.
+        src: u16,
         /// Destination (local) port.
         dst_port: u16,
         /// The data, in receive buffers (headers stripped).
@@ -113,7 +116,12 @@ pub struct ProtoStack {
     slab_slots: u32,
     slab_next: u32,
     ip_id: u32,
-    reasm: HashMap<u32, IpReassembly>,
+    /// This host's model-level IP address, stamped into outgoing headers.
+    src_host: u16,
+    /// In-flight reassemblies, keyed by `(source host, datagram id)` —
+    /// ids are per-sender counters, so on a fan-in path (incast) two
+    /// senders' datagrams may carry the same id concurrently.
+    reasm: HashMap<(u16, u32), IpReassembly>,
     stats: StackCounters,
 }
 
@@ -170,9 +178,15 @@ impl ProtoStack {
             slab_slots: slots,
             slab_next: 0,
             ip_id: 1,
+            src_host: 0,
             reasm: HashMap::new(),
             stats: StackCounters::with_probe(probe),
         }
+    }
+
+    /// Sets the source-host address stamped into outgoing IP headers.
+    pub fn set_src_host(&mut self, src: u16) {
+        self.src_host = src;
     }
 
     /// Stack counters (a copy of the current values).
@@ -250,7 +264,7 @@ impl ProtoStack {
                 frag_off: offset as u32,
                 more_frags: i + 1 < plan.count(),
                 proto: IPPROTO_UDP,
-                src: 0,
+                src: self.src_host,
                 dst: dst_host,
             };
             let ip_va = self.slab_slot();
@@ -336,8 +350,11 @@ impl ProtoStack {
         let _ = data.pop_header(IP_HEADER_BYTES as u32);
         let frag_data_len = pdu_len as u64 - IP_HEADER_BYTES as u64;
 
-        // Reassemble.
-        let entry = self.reasm.entry(ip.id).or_default();
+        // Reassemble. The key includes the source host: datagram ids are
+        // per-sender counters, so concurrent senders (incast) collide on
+        // the id alone.
+        let key = (ip.src, ip.id);
+        let entry = self.reasm.entry(key).or_default();
         entry.have += frag_data_len;
         entry.parts.push((ip.frag_off as u64, data, descs));
         if !ip.more_frags {
@@ -349,7 +366,7 @@ impl ProtoStack {
         }
 
         // Datagram complete: stitch fragments in offset order.
-        let mut entry = self.reasm.remove(&ip.id).expect("present");
+        let mut entry = self.reasm.remove(&key).expect("present");
         entry.parts.sort_by_key(|&(off, _, _)| off);
         let mut datagram = Message::<PhysAddr>::empty();
         let mut all_descs = Vec::new();
@@ -431,6 +448,7 @@ impl ProtoStack {
         self.stats.delivered.incr();
         (
             RxVerdict::Deliver {
+                src: ip.src,
                 dst_port: udp.dst_port,
                 data: datagram,
                 descs: all_descs,

@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::obs::{Counter, Probe};
 use crate::time::SimTime;
 
 struct Entry<E> {
@@ -43,6 +44,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     pushed: u64,
+    scheduled: Counter,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -58,7 +60,16 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             pushed: 0,
+            scheduled: Counter::detached(),
         }
+    }
+
+    /// Publishes the lifetime push count as `<scope>.events.scheduled` in
+    /// `probe`'s registry. Pushes made before attaching are carried over,
+    /// so the counter always equals [`EventQueue::total_pushed`].
+    pub fn attach_probe(&mut self, probe: &Probe) {
+        self.scheduled = probe.scoped("events").counter("scheduled");
+        self.scheduled.add(self.pushed);
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -66,6 +77,7 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.pushed += 1;
+        self.scheduled.incr();
         self.heap.push(Entry {
             time: at,
             seq,
@@ -167,5 +179,24 @@ mod tests {
         assert!(q.is_empty());
         // total_pushed survives clear (it is a lifetime diagnostic).
         assert_eq!(q.total_pushed(), 2);
+    }
+
+    #[test]
+    fn attached_probe_mirrors_total_pushed() {
+        use crate::obs::Registry;
+        let reg = Registry::new();
+        let mut q = EventQueue::new();
+        // Pushes before attaching are carried over...
+        q.push(SimTime::from_ns(1), ());
+        q.attach_probe(&reg.probe("engine"));
+        assert_eq!(reg.snapshot().counter("engine.events.scheduled"), 1);
+        // ...and later pushes keep the counter in lockstep, across clear().
+        q.push(SimTime::from_ns(2), ());
+        q.clear();
+        q.push(SimTime::from_ns(3), ());
+        assert_eq!(
+            reg.snapshot().counter("engine.events.scheduled"),
+            q.total_pushed()
+        );
     }
 }

@@ -16,7 +16,7 @@ use osiris::board::dma::DmaMode;
 use osiris::config::{TestbedConfig, TouchMode};
 use osiris::experiments::{receive_throughput, round_trip_latency};
 use osiris::sim::{SimTime, Simulation};
-use osiris::testbed::{Event, Testbed};
+use osiris::testbed::{Event, NodeId, Testbed};
 
 /// Runs one 1 KB ping-pong with the timeline enabled and writes the
 /// Chrome trace-event JSON document to `path`.
@@ -27,7 +27,8 @@ fn dump_chrome_trace(path: &str) {
     let mut tb = Testbed::new_pair(cfg);
     tb.timeline.set_enabled(true);
     let mut sim = Simulation::new(tb);
-    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    sim.queue
+        .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
     assert!(sim.run_while(|m| !m.done), "traced ping did not complete");
     let doc = sim.model.timeline.to_chrome_json().render_pretty();
     std::fs::write(path, doc).expect("write trace file");

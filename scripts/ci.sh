@@ -20,6 +20,9 @@ cargo test --workspace -q
 echo "==> smoke: quickstart example"
 cargo run --release -q --example quickstart
 
+echo "==> smoke: incast through the switched fabric"
+cargo run --release -q --example incast
+
 echo "==> smoke: Chrome trace export round-trip"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT

@@ -4,14 +4,15 @@
 
 use osiris::config::{TestbedConfig, TouchMode};
 use osiris::sim::{SimTime, Simulation};
-use osiris::testbed::{Event, Testbed};
+use osiris::testbed::{Event, NodeId, Testbed};
 
 /// Runs a ping-pong testbed until `pings` round trips complete or the
 /// budget is exhausted; returns the finished testbed.
 fn run_pings(cfg: TestbedConfig) -> Testbed {
     let tb = Testbed::new_pair(cfg);
     let mut sim = Simulation::new(tb);
-    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    sim.queue
+        .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
     loop {
         if sim.model.done || sim.now() > SimTime::from_secs(30) {
             break;
@@ -39,7 +40,7 @@ fn corrupted_cells_are_dropped_by_the_board_crc() {
         tb.verify_failures, 0,
         "corrupt data must never reach the app"
     );
-    let corrupted: u64 = tb.links.iter().map(|l| l.cells_corrupted()).sum();
+    let corrupted: u64 = tb.links().iter().map(|l| l.cells_corrupted()).sum();
     assert!(corrupted > 0, "fault injection must have fired");
     let err_pdus: u64 = tb.nodes.iter().map(|n| n.driver.stats().err_pdus).sum();
     let crc_failed: u64 = tb.nodes.iter().map(|n| n.rx.stats().pdus_crc_failed).sum();

@@ -1,0 +1,83 @@
+//! End-to-end incast: N sender nodes stream onto one receiver through
+//! the switched fabric — the first workload class the node/fabric split
+//! unlocks, and the shape where the paper's free-ring and
+//! interrupt-suppression lessons actually bite.
+
+use osiris::config::TestbedConfig;
+use osiris::experiments::incast_throughput;
+use osiris::sim::SimTime;
+use osiris::Scenario;
+
+#[test]
+fn four_sender_incast_completes_through_the_switch() {
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 8 * 1024;
+    cfg.messages = 4; // per sender
+    cfg.reassembly = osiris::atm::sar::ReassemblyMode::FourWay { lanes: 4 };
+    let senders = 4;
+    let mut sim = Scenario::Incast { senders }.launch(cfg);
+    loop {
+        if sim.model.done || sim.now() > SimTime::from_secs(30) {
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    let m = &sim.model;
+    assert!(m.done, "incast must run to completion");
+    assert_eq!(m.verify_failures, 0, "every delivery verifies");
+    assert_eq!(m.nodes.len(), senders + 1);
+
+    let snap = m.snapshot();
+    // Every sender transmitted on its own VCI; the receiver delivered all
+    // of it up the stack.
+    for s in 0..senders {
+        assert!(
+            snap.counter(&format!("node{s}.board.tx.cells_sent")) > 0,
+            "sender {s} must have transmitted"
+        );
+    }
+    assert_eq!(
+        snap.counter(&format!("node{senders}.stack.delivered")),
+        (senders as u64) * 4,
+        "receiver must deliver every message from every sender"
+    );
+
+    // The switch's per-port queues are registry-visible: the receiver's
+    // port block carried every cell, and the N-to-1 fan-in queued.
+    let lanes = 4;
+    let mut cells = 0u64;
+    let mut queue_ps = 0u64;
+    for p in senders * lanes..(senders + 1) * lanes {
+        cells += snap.counter(&format!("fabric.switch.port{p}.cells"));
+        queue_ps += snap.counter(&format!("fabric.switch.port{p}.queueing_ps"));
+    }
+    assert!(cells > 0, "receiver port block must carry the traffic");
+    assert!(
+        queue_ps > 0,
+        "four concurrent senders must queue at the fan-in"
+    );
+    assert_eq!(snap.counter("fabric.switch.unrouted"), 0, "no cell dropped");
+}
+
+#[test]
+fn incast_report_scales_with_senders() {
+    // Single-fragment messages: four-way framing over the uncoordinated
+    // switch requires every PDU to span all lanes (see incast_throughput).
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 12 * 1024;
+    cfg.messages = 3;
+    cfg.warmup = 1;
+    let one = incast_throughput(&cfg, 1);
+    let four = incast_throughput(&cfg, 4);
+    assert_eq!(one.senders, 1);
+    assert_eq!(four.senders, 4);
+    assert_eq!(four.delivered, 12, "4 senders x 3 messages");
+    assert!(four.switch_cells > one.switch_cells);
+    assert!(
+        four.max_port_queueing_us >= one.max_port_queueing_us,
+        "fan-in must not reduce port queueing"
+    );
+    assert_eq!(one.dropped_pdus + four.dropped_pdus, 0);
+}

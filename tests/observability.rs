@@ -4,7 +4,7 @@
 
 use osiris::config::{TestbedConfig, TouchMode};
 use osiris::sim::{Json, SimTime, Simulation};
-use osiris::testbed::{Event, Testbed};
+use osiris::testbed::{Event, NodeId, Testbed};
 
 /// Runs the Table 1 ping-pong (1 KB UDP/IP on a 5000/200 pair) and
 /// returns the finished testbed.
@@ -15,7 +15,8 @@ fn run_ping_pong() -> Testbed {
     cfg.touch = TouchMode::WritePerMessage;
     let tb = Testbed::new_pair(cfg);
     let mut sim = Simulation::new(tb);
-    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    sim.queue
+        .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
     assert!(sim.run_while(|m| !m.done), "ping-pong did not complete");
     assert_eq!(sim.model.verify_failures, 0);
     sim.model
@@ -83,7 +84,8 @@ fn timeline_chrome_export_round_trips() {
     let mut tb = Testbed::new_pair(cfg);
     tb.timeline.set_enabled(true);
     let mut sim = Simulation::new(tb);
-    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    sim.queue
+        .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
     assert!(sim.run_while(|m| !m.done));
     let tl = &sim.model.timeline;
     assert!(tl.events().count() > 10, "a traced ping must record events");
@@ -113,7 +115,8 @@ fn trace_ring_capacity_follows_sim_config() {
     let mut tb = Testbed::new_pair(cfg);
     tb.trace.set_enabled(true);
     let mut sim = Simulation::new(tb);
-    sim.queue.push(SimTime::ZERO, Event::AppSend { host: 0 });
+    sim.queue
+        .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
     assert!(sim.run_while(|m| !m.done));
     let m = &sim.model;
     assert_eq!(m.trace.capacity(), 8);
@@ -125,6 +128,27 @@ fn trace_ring_capacity_follows_sim_config() {
     assert!(m.trace.dropped() > 0);
     // Evictions are registry-visible, never silent.
     assert_eq!(m.snapshot().counter("sim.trace.dropped"), m.trace.dropped());
+}
+
+#[test]
+fn event_queue_scheduling_is_registry_visible() {
+    // Satellite: the simulation engine itself publishes into the same
+    // registry as the hardware models. `Scenario::launch` attaches the
+    // queue's probe, so `engine.events.scheduled` must track
+    // `EventQueue::total_pushed` exactly — including the seed event.
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 1024;
+    cfg.messages = 8;
+    cfg.touch = TouchMode::WritePerMessage;
+    let mut sim = osiris::Scenario::Pair.launch(cfg);
+    assert!(sim.run_while(|m| !m.done), "ping-pong did not complete");
+    let scheduled = sim.model.snapshot().counter("engine.events.scheduled");
+    assert!(scheduled > 0, "the run must have scheduled events");
+    assert_eq!(
+        scheduled,
+        sim.queue.total_pushed(),
+        "engine.events.scheduled must mirror EventQueue::total_pushed"
+    );
 }
 
 #[test]
