@@ -20,6 +20,7 @@
 //!   still genuinely computed and checked; documented in DESIGN.md.
 
 use crate::vci::Vci;
+use osiris_sim::TraceCtx;
 
 /// Data bytes carried per cell.
 pub const CELL_PAYLOAD: usize = 44;
@@ -74,6 +75,11 @@ pub struct Cell {
     pub payload: [u8; CELL_PAYLOAD],
     /// Present on cells with `aal.eom` set.
     pub trailer: Option<Trailer>,
+    /// Simulation-side causal identity of the PDU this cell carries a
+    /// piece of — metadata for per-PDU tracing, **not** wire bytes (it
+    /// does not survive `wire::encode`/`decode` and costs nothing in the
+    /// 44/53 throughput arithmetic).
+    pub ctx: Option<TraceCtx>,
 }
 
 impl Cell {
@@ -101,6 +107,7 @@ impl Cell {
             },
             payload,
             trailer: None,
+            ctx: None,
         }
     }
 

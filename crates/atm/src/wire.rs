@@ -132,6 +132,8 @@ pub fn decode(bytes: &[u8]) -> Result<Cell, WireError> {
         aal: AalHeader { seq, eom, fill },
         payload,
         trailer,
+        // Trace identity is sim-side metadata, never encoded.
+        ctx: None,
     })
 }
 

@@ -7,14 +7,17 @@ use osiris::atm::sar::ReassemblyMode;
 use osiris::board::dma::DmaMode;
 use osiris::board::interrupt::InterruptPolicy;
 use osiris::config::{TestbedConfig, TouchMode};
-use osiris::experiments::{receive_throughput, round_trip_latency};
+use osiris::experiments::{receive_throughput, round_trip_latency, stage_anatomy};
 use osiris::host::wiring::WiringMode;
 use osiris::proto::wire::IP_HEADER_BYTES;
 use osiris::report;
+use osiris::Scenario;
+use osiris_bench::{bench_out_path, BenchSnapshot, Better};
 
 fn main() {
     // ── 1. DMA transfer length, both directions (16 KB receive bench) ──
     let mut rows = Vec::new();
+    let mut dma_mbps = Vec::new();
     for rx in [DmaMode::SingleCell, DmaMode::DoubleCell, DmaMode::Arbitrary] {
         let mut cfg = TestbedConfig::ds5000_200_udp();
         cfg.msg_size = 64 * 1024;
@@ -22,7 +25,29 @@ fn main() {
         cfg.warmup = 3;
         cfg.rx_dma = rx;
         let r = receive_throughput(&cfg);
+        dma_mbps.push(r.mbps);
         rows.push(vec![format!("{rx:?}"), format!("{:.0}", r.mbps)]);
+    }
+    if let Some(path) = bench_out_path() {
+        let mut snap = BenchSnapshot::new("ablation");
+        snap.headline(
+            "rx_64k_single_cell_mbps",
+            dma_mbps[0],
+            "Mbps",
+            Better::Higher,
+        );
+        snap.headline(
+            "rx_64k_double_cell_mbps",
+            dma_mbps[1],
+            "Mbps",
+            Better::Higher,
+        );
+        let mut cfg = TestbedConfig::ds5000_200_udp();
+        cfg.msg_size = 16 * 1024;
+        cfg.messages = 8;
+        snap.set_anatomy(&stage_anatomy(Scenario::Pair, &cfg));
+        std::fs::write(&path, snap.to_json()).expect("write bench snapshot");
+        eprintln!("wrote {path}");
     }
     println!(
         "{}",

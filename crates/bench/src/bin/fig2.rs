@@ -11,10 +11,13 @@
 
 use osiris::board::dma::DmaMode;
 use osiris::config::TestbedConfig;
-use osiris::experiments::receive_throughput;
+use osiris::experiments::{receive_throughput, stage_anatomy};
 use osiris::host::driver::CacheStrategy;
 use osiris::report;
-use osiris_bench::{at_size, figure_sizes, json_requested, ExperimentResult};
+use osiris::Scenario;
+use osiris_bench::{
+    at_size, bench_out_path, figure_sizes, json_requested, BenchSnapshot, Better, ExperimentResult,
+};
 
 fn main() {
     let sizes = figure_sizes();
@@ -34,11 +37,38 @@ fn main() {
         cfg.cache_strategy = CacheStrategy::Eager;
         invalidated.push(receive_throughput(&cfg).mbps);
     }
+    let mut r = ExperimentResult::new("fig2", "DEC 5000/200 receive throughput", "Mbps");
+    r.push_series("double-cell", &sizes, &double, None);
+    r.push_series("single-cell", &sizes, &single, None);
+    r.push_series("single-cell+invalidate", &sizes, &invalidated, None);
+    if let Some(path) = bench_out_path() {
+        let mut snap = BenchSnapshot::new("fig2");
+        snap.headline(
+            "peak_double_cell_mbps",
+            *double.last().unwrap(),
+            "Mbps",
+            Better::Higher,
+        );
+        snap.headline(
+            "peak_single_cell_mbps",
+            *single.last().unwrap(),
+            "Mbps",
+            Better::Higher,
+        );
+        snap.headline(
+            "peak_invalidate_mbps",
+            *invalidated.last().unwrap(),
+            "Mbps",
+            Better::Higher,
+        );
+        snap.push_result(&r);
+        // Traced representative run for the stage percentiles.
+        let cfg = at_size(TestbedConfig::ds5000_200_udp(), 16 * 1024);
+        snap.set_anatomy(&stage_anatomy(Scenario::RxBench, &cfg));
+        std::fs::write(&path, snap.to_json()).expect("write bench snapshot");
+        eprintln!("wrote {path}");
+    }
     if json_requested() {
-        let mut r = ExperimentResult::new("fig2", "DEC 5000/200 receive throughput", "Mbps");
-        r.push_series("double-cell", &sizes, &double, None);
-        r.push_series("single-cell", &sizes, &single, None);
-        r.push_series("single-cell+invalidate", &sizes, &invalidated, None);
         println!("{}", r.to_json());
         return;
     }

@@ -10,9 +10,12 @@
 
 use osiris::board::dma::DmaMode;
 use osiris::config::TestbedConfig;
-use osiris::experiments::receive_throughput;
+use osiris::experiments::{receive_throughput, stage_anatomy};
 use osiris::report;
-use osiris_bench::{at_size, figure_sizes, json_requested, ExperimentResult};
+use osiris::Scenario;
+use osiris_bench::{
+    at_size, bench_out_path, figure_sizes, json_requested, BenchSnapshot, Better, ExperimentResult,
+};
 
 fn main() {
     let sizes = figure_sizes();
@@ -39,14 +42,35 @@ fn main() {
             series[i].push(receive_throughput(&cfg).mbps);
         }
     }
+    let mut r = ExperimentResult::new("fig3", "DEC 3000/600 receive throughput", "Mbps");
+    for (name, col) in ["double", "double+cs", "single", "single+cs"]
+        .iter()
+        .zip(&series)
+    {
+        r.push_series(name, &sizes, col, None);
+    }
+    if let Some(path) = bench_out_path() {
+        let mut snap = BenchSnapshot::new("fig3");
+        snap.headline(
+            "peak_double_cell_mbps",
+            *series[0].last().unwrap(),
+            "Mbps",
+            Better::Higher,
+        );
+        snap.headline(
+            "peak_double_cell_checksum_mbps",
+            *series[1].last().unwrap(),
+            "Mbps",
+            Better::Higher,
+        );
+        snap.push_result(&r);
+        let mut cfg = at_size(TestbedConfig::dec3000_600_udp(), 16 * 1024);
+        cfg.rx_dma = DmaMode::DoubleCell;
+        snap.set_anatomy(&stage_anatomy(Scenario::RxBench, &cfg));
+        std::fs::write(&path, snap.to_json()).expect("write bench snapshot");
+        eprintln!("wrote {path}");
+    }
     if json_requested() {
-        let mut r = ExperimentResult::new("fig3", "DEC 3000/600 receive throughput", "Mbps");
-        for (name, col) in ["double", "double+cs", "single", "single+cs"]
-            .iter()
-            .zip(&series)
-        {
-            r.push_series(name, &sizes, col, None);
-        }
         println!("{}", r.to_json());
         return;
     }

@@ -9,9 +9,12 @@
 //! DEC 5000/200 — all single-cell transmit DMA.
 
 use osiris::config::TestbedConfig;
-use osiris::experiments::transmit_throughput;
+use osiris::experiments::{stage_anatomy, transmit_throughput};
 use osiris::report;
-use osiris_bench::{at_size, figure_sizes, json_requested, ExperimentResult};
+use osiris::Scenario;
+use osiris_bench::{
+    at_size, bench_out_path, figure_sizes, json_requested, BenchSnapshot, Better, ExperimentResult,
+};
 
 fn main() {
     let sizes = figure_sizes();
@@ -31,11 +34,31 @@ fn main() {
             size,
         )));
     }
+    let mut r = ExperimentResult::new("fig4", "transmit throughput", "Mbps");
+    r.push_series("3000/600", &sizes, &alpha, None);
+    r.push_series("3000/600+cs", &sizes, &alpha_cs, None);
+    r.push_series("5000/200", &sizes, &ds, None);
+    if let Some(path) = bench_out_path() {
+        let mut snap = BenchSnapshot::new("fig4");
+        snap.headline(
+            "peak_tx_3000_600_mbps",
+            *alpha.last().unwrap(),
+            "Mbps",
+            Better::Higher,
+        );
+        snap.headline(
+            "peak_tx_5000_200_mbps",
+            *ds.last().unwrap(),
+            "Mbps",
+            Better::Higher,
+        );
+        snap.push_result(&r);
+        let cfg = at_size(TestbedConfig::dec3000_600_udp(), 16 * 1024);
+        snap.set_anatomy(&stage_anatomy(Scenario::TxBench, &cfg));
+        std::fs::write(&path, snap.to_json()).expect("write bench snapshot");
+        eprintln!("wrote {path}");
+    }
     if json_requested() {
-        let mut r = ExperimentResult::new("fig4", "transmit throughput", "Mbps");
-        r.push_series("3000/600", &sizes, &alpha, None);
-        r.push_series("3000/600+cs", &sizes, &alpha_cs, None);
-        r.push_series("5000/200", &sizes, &ds, None);
         println!("{}", r.to_json());
         return;
     }

@@ -11,6 +11,8 @@ use osiris::mem::PhysAddr;
 use osiris::proto::frag::{fragment_buffer_count, fragment_layout, page_aligned_mtu};
 use osiris::report;
 use osiris::sim::{SimDuration, SimTime};
+use osiris::Scenario;
+use osiris_bench::{bench_out_path, BenchSnapshot, Better};
 
 fn section(title: &str) {
     println!("\n==== {title} ====");
@@ -150,6 +152,38 @@ fn main() {
     cfg.msg_size = 1024;
     let budget = osiris::experiments::latency_budget(&cfg);
     print!("{}", report::latency_anatomy(&budget));
+
+    section("critical-path attribution over a 1024 B ping-pong (µs per stage)");
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 1024;
+    cfg.messages = 8;
+    let anatomy = osiris::experiments::stage_anatomy(Scenario::Pair, &cfg);
+    print!(
+        "{}",
+        report::stage_table(
+            &format!("stage percentiles over {} traced PDUs", anatomy.pdus),
+            &anatomy.stages,
+            &anatomy.e2e,
+        )
+    );
+    if let Some(warn) = report::dropped_spans_warning(&anatomy.snapshot) {
+        println!("{warn}");
+    }
+
+    if let Some(path) = bench_out_path() {
+        let mut snap = BenchSnapshot::new("lessons");
+        snap.headline(
+            "interrupts_per_pdu_suppressed",
+            transition,
+            "intr/PDU",
+            Better::Lower,
+        );
+        snap.headline("rx_16k_lazy_mbps", lazy, "Mbps", Better::Higher);
+        snap.headline("e2e_p99_1024b_us", anatomy.e2e.p99, "us", Better::Lower);
+        snap.set_anatomy(&anatomy);
+        std::fs::write(&path, snap.to_json()).expect("write bench snapshot");
+        eprintln!("wrote {path}");
+    }
 
     section("§3.2 ADC data-path savings");
     let h = HostMachine::boot(MachineSpec::ds5000_200(), 1);

@@ -10,8 +10,10 @@
 //! user-to-user latency vs kernel-to-kernel vs a plain user process.
 
 use osiris::config::{DataPath, TestbedConfig, TouchMode};
-use osiris::experiments::round_trip_latency;
+use osiris::experiments::{round_trip_latency, stage_anatomy};
 use osiris::report;
+use osiris::Scenario;
+use osiris_bench::{bench_out_path, BenchSnapshot, Better, ExperimentResult};
 
 const SIZES: [u64; 4] = [1, 1024, 2048, 4096];
 
@@ -43,6 +45,7 @@ fn main() {
         TestbedConfig::dec3000_600_udp,
     ];
     let mut rows = Vec::new();
+    let mut all_measured = Vec::new();
     for ((name, paper), mk) in PAPER.iter().zip(configs) {
         let measured = measure(mk);
         let mut row = vec![name.to_string()];
@@ -50,6 +53,26 @@ fn main() {
             row.push(format!("{:.0} ({:.0})", measured[i], paper[i]));
         }
         rows.push(row);
+        all_measured.push(measured);
+    }
+    if let Some(path) = bench_out_path() {
+        let mut snap = BenchSnapshot::new("table1");
+        // Guard the 5000/200 rows at the table's extremes.
+        snap.headline("rtt_atm_1b_us", all_measured[0][0], "us", Better::Lower);
+        snap.headline("rtt_udp_1b_us", all_measured[1][0], "us", Better::Lower);
+        snap.headline("rtt_udp_4096b_us", all_measured[1][3], "us", Better::Lower);
+        let mut r = ExperimentResult::new("table1", "round-trip latencies", "us");
+        for ((name, paper), measured) in PAPER.iter().zip(&all_measured) {
+            r.push_series(name, &SIZES, measured, Some(paper));
+        }
+        snap.push_result(&r);
+        let mut cfg = TestbedConfig::ds5000_200_udp();
+        cfg.msg_size = 1024;
+        cfg.messages = 12;
+        cfg.touch = TouchMode::WritePerMessage;
+        snap.set_anatomy(&stage_anatomy(Scenario::Pair, &cfg));
+        std::fs::write(&path, snap.to_json()).expect("write bench snapshot");
+        eprintln!("wrote {path}");
     }
     println!(
         "{}",

@@ -16,21 +16,34 @@ use osiris::config::TestbedConfig;
 
 pub mod micro;
 pub mod results;
+pub mod snapshot;
 pub use results::{json_requested, ExperimentResult};
+pub use snapshot::{bench_out_path, quick_requested, BenchSnapshot, Better};
 
-/// The message sizes of Figures 2–4 (bytes): 1 KB to 256 KB.
+/// The message sizes of Figures 2–4 (bytes): 1 KB to 256 KB, or a
+/// three-point subset spanning the sweep under `--quick` (CI smoke).
 pub fn figure_sizes() -> Vec<u64> {
-    (0..=8).map(|i| 1024u64 << i).collect()
+    if quick_requested() {
+        vec![1024, 16 * 1024, 64 * 1024]
+    } else {
+        (0..=8).map(|i| 1024u64 << i).collect()
+    }
 }
 
 /// Messages per sweep point, scaled down for large messages so a full
 /// sweep stays interactive while keeping several steady-state cycles.
+/// `--quick` cuts each point to the minimum that still covers warm-up.
 pub fn messages_for(size: u64) -> u64 {
-    match size {
+    let full = match size {
         0..=4096 => 40,
         4097..=32768 => 24,
         32769..=131072 => 16,
         _ => 12,
+    };
+    if quick_requested() {
+        (full / 4).max(6)
+    } else {
+        full
     }
 }
 

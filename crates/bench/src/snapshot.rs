@@ -1,0 +1,431 @@
+//! `BENCH_*.json` performance snapshots and the regression comparator.
+//!
+//! Every regeneration binary accepts `--bench-out <path>`; it then
+//! writes a [`BenchSnapshot`] — its named headline metrics, the full
+//! series it printed, a registry counter read-out, and the critical-path
+//! stage percentiles of a traced representative run — as one JSON
+//! document. `osiris-bench regress <old.json> <new.json>` compares two
+//! snapshots headline by headline and exits non-zero when any metric
+//! moved the wrong way by more than the threshold, which is what CI runs
+//! against the committed baseline.
+
+use osiris::experiments::StageAnatomy;
+use osiris::sim::{Json, Snapshot};
+
+use crate::results::ExperimentResult;
+
+/// Which direction is good for a headline metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Better {
+    /// Throughput-like: a drop is a regression.
+    Higher,
+    /// Latency-like: a rise is a regression.
+    Lower,
+}
+
+impl Better {
+    fn as_str(self) -> &'static str {
+        match self {
+            Better::Higher => "higher",
+            Better::Lower => "lower",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Better> {
+        match s {
+            "higher" => Some(Better::Higher),
+            "lower" => Some(Better::Lower),
+            _ => None,
+        }
+    }
+}
+
+/// One named headline metric — the numbers `regress` guards.
+#[derive(Debug, Clone)]
+pub struct Headline {
+    /// Stable metric name (e.g. `peak_double_cell_mbps`).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit ("Mbps", "us").
+    pub unit: String,
+    /// Which direction is good.
+    pub better: Better,
+}
+
+/// One stage row of the critical-path percentiles (µs).
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// Stage label (`protocol CPU`, `DMA transfer`, …) or `end-to-end`.
+    pub stage: String,
+    /// Mean over the traced PDUs.
+    pub mean_us: f64,
+    /// Median.
+    pub p50_us: f64,
+    /// 95th percentile.
+    pub p95_us: f64,
+    /// 99th percentile.
+    pub p99_us: f64,
+}
+
+/// The snapshot document a bench binary emits for `--bench-out`.
+#[derive(Debug, Clone)]
+pub struct BenchSnapshot {
+    /// Which bench produced it ("fig2", "table1", …).
+    pub name: String,
+    /// The guarded metrics.
+    pub headlines: Vec<Headline>,
+    /// The full series the bench printed (same shape as `--json`).
+    pub results: Vec<ExperimentResult>,
+    /// Critical-path stage percentiles from a traced representative run
+    /// (ends with the `end-to-end` row when present).
+    pub stages: Vec<StageRow>,
+    /// Registry counters of the traced run.
+    pub counters: Vec<(String, u64)>,
+    /// Timeline evictions during the traced run (non-zero taints the
+    /// stage rows).
+    pub dropped_spans: u64,
+}
+
+impl BenchSnapshot {
+    /// An empty snapshot for bench `name`.
+    pub fn new(name: &str) -> BenchSnapshot {
+        BenchSnapshot {
+            name: name.to_string(),
+            headlines: Vec::new(),
+            results: Vec::new(),
+            stages: Vec::new(),
+            counters: Vec::new(),
+            dropped_spans: 0,
+        }
+    }
+
+    /// Adds one guarded headline metric.
+    pub fn headline(&mut self, name: &str, value: f64, unit: &str, better: Better) {
+        self.headlines.push(Headline {
+            name: name.to_string(),
+            value,
+            unit: unit.to_string(),
+            better,
+        });
+    }
+
+    /// Archives a full series document next to the headlines.
+    pub fn push_result(&mut self, r: &ExperimentResult) {
+        self.results.push(r.clone());
+    }
+
+    /// Fills the stage-percentile rows, counters, and the drop count
+    /// from a traced run's anatomy.
+    pub fn set_anatomy(&mut self, a: &StageAnatomy) {
+        self.stages = a
+            .stages
+            .iter()
+            .map(|(s, h)| StageRow {
+                stage: s.label().to_string(),
+                mean_us: h.time_weighted_mean,
+                p50_us: h.p50,
+                p95_us: h.p95,
+                p99_us: h.p99,
+            })
+            .collect();
+        self.stages.push(StageRow {
+            stage: "end-to-end".to_string(),
+            mean_us: a.e2e.time_weighted_mean,
+            p50_us: a.e2e.p50,
+            p95_us: a.e2e.p95,
+            p99_us: a.e2e.p99,
+        });
+        self.dropped_spans = a.dropped_spans;
+        self.set_counters(&a.snapshot);
+    }
+
+    /// Archives every non-zero counter of a registry read-out.
+    pub fn set_counters(&mut self, snap: &Snapshot) {
+        self.counters = snap
+            .counters
+            .iter()
+            .filter(|(_, &v)| v != 0)
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+    }
+
+    /// Serialises to pretty JSON (the `BENCH_<name>.json` file body).
+    pub fn to_json(&self) -> String {
+        let headlines = self
+            .headlines
+            .iter()
+            .map(|h| {
+                Json::obj()
+                    .with("name", h.name.as_str())
+                    .with("value", h.value)
+                    .with("unit", h.unit.as_str())
+                    .with("better", h.better.as_str())
+            })
+            .collect();
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .with("stage", s.stage.as_str())
+                    .with("mean_us", s.mean_us)
+                    .with("p50_us", s.p50_us)
+                    .with("p95_us", s.p95_us)
+                    .with("p99_us", s.p99_us)
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| Json::obj().with("name", k.as_str()).with("value", *v))
+            .collect();
+        let results = self.results.iter().map(|r| r.to_json_value()).collect();
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("headlines", Json::Arr(headlines))
+            .with("stages", Json::Arr(stages))
+            .with("dropped_spans", self.dropped_spans)
+            .with("counters", Json::Arr(counters))
+            .with("results", Json::Arr(results))
+            .render_pretty()
+    }
+
+    /// Parses the fields the comparator needs (name, headlines, stages,
+    /// counters, drop count) back out of a snapshot document. The
+    /// archived `results` series are not reconstructed.
+    pub fn parse(text: &str) -> Result<BenchSnapshot, String> {
+        let v = Json::parse(text).map_err(|e| format!("bad snapshot JSON: {e:?}"))?;
+        let name = v
+            .get("name")
+            .and_then(|n| n.as_str())
+            .ok_or("snapshot has no name")?
+            .to_string();
+        let mut out = BenchSnapshot::new(&name);
+        for h in v.get("headlines").map(|h| h.items()).unwrap_or(&[]) {
+            let get_str = |k: &str| h.get(k).and_then(|x| x.as_str());
+            let headline = Headline {
+                name: get_str("name").ok_or("headline without name")?.to_string(),
+                value: h
+                    .get("value")
+                    .and_then(|x| x.as_f64())
+                    .ok_or("headline without value")?,
+                unit: get_str("unit").unwrap_or("").to_string(),
+                better: Better::parse(get_str("better").unwrap_or("higher"))
+                    .ok_or("bad better direction")?,
+            };
+            out.headlines.push(headline);
+        }
+        for s in v.get("stages").map(|s| s.items()).unwrap_or(&[]) {
+            let num = |k: &str| s.get(k).and_then(|x| x.as_f64()).unwrap_or(0.0);
+            out.stages.push(StageRow {
+                stage: s
+                    .get("stage")
+                    .and_then(|x| x.as_str())
+                    .unwrap_or("")
+                    .to_string(),
+                mean_us: num("mean_us"),
+                p50_us: num("p50_us"),
+                p95_us: num("p95_us"),
+                p99_us: num("p99_us"),
+            });
+        }
+        for c in v.get("counters").map(|c| c.items()).unwrap_or(&[]) {
+            if let (Some(k), Some(n)) = (
+                c.get("name").and_then(|x| x.as_str()),
+                c.get("value").and_then(|x| x.as_u64()),
+            ) {
+                out.counters.push((k.to_string(), n));
+            }
+        }
+        out.dropped_spans = v.get("dropped_spans").and_then(|d| d.as_u64()).unwrap_or(0);
+        Ok(out)
+    }
+}
+
+/// One headline's old-vs-new comparison.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value.
+    pub old: f64,
+    /// Candidate value.
+    pub new: f64,
+    /// Signed change in percent of the baseline.
+    pub delta_pct: f64,
+    /// True when the metric moved the wrong way past the threshold.
+    pub regressed: bool,
+}
+
+/// The comparator's verdict over two snapshots.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-headline rows, in baseline order.
+    pub rows: Vec<CompareRow>,
+    /// Baseline headlines the candidate no longer reports (each counts
+    /// as a failure: a silently vanished metric must not pass CI).
+    pub missing: Vec<String>,
+    /// The regression threshold used, in percent.
+    pub threshold_pct: f64,
+}
+
+impl CompareReport {
+    /// Number of failed checks (regressed rows + missing metrics).
+    pub fn failures(&self) -> usize {
+        self.rows.iter().filter(|r| r.regressed).count() + self.missing.len()
+    }
+
+    /// Human-readable verdict table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.rows {
+            let verdict = if r.regressed { "REGRESSED" } else { "ok" };
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>10.1} -> {:>10.1}  ({:>+6.1}%)  {verdict}",
+                r.name, r.old, r.new, r.delta_pct
+            );
+        }
+        for m in &self.missing {
+            let _ = writeln!(out, "  {m:<32} MISSING from the new snapshot");
+        }
+        let _ = writeln!(
+            out,
+            "  {} headline metric(s), threshold {}%, {} failure(s)",
+            self.rows.len() + self.missing.len(),
+            self.threshold_pct,
+            self.failures()
+        );
+        out
+    }
+}
+
+/// Compares every baseline headline against the candidate. A metric
+/// regresses when it moves in its bad direction by more than
+/// `threshold_pct` percent of the baseline value.
+pub fn compare(old: &BenchSnapshot, new: &BenchSnapshot, threshold_pct: f64) -> CompareReport {
+    let mut report = CompareReport {
+        rows: Vec::new(),
+        missing: Vec::new(),
+        threshold_pct,
+    };
+    for h in &old.headlines {
+        let Some(n) = new.headlines.iter().find(|n| n.name == h.name) else {
+            report.missing.push(h.name.clone());
+            continue;
+        };
+        let delta_pct = if h.value != 0.0 {
+            (n.value - h.value) / h.value * 100.0
+        } else {
+            0.0
+        };
+        let regressed = match h.better {
+            Better::Higher => delta_pct < -threshold_pct,
+            Better::Lower => delta_pct > threshold_pct,
+        };
+        report.rows.push(CompareRow {
+            name: h.name.clone(),
+            old: h.value,
+            new: n.value,
+            delta_pct,
+            regressed,
+        });
+    }
+    report
+}
+
+/// The path given with `--bench-out <path>`, when the process arguments
+/// request a snapshot.
+pub fn bench_out_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--bench-out" {
+            return Some(args.next().expect("--bench-out needs a path"));
+        }
+    }
+    None
+}
+
+/// True if the process arguments request the reduced `--quick` sweep
+/// (CI smoke: a subset of sizes with fewer messages each).
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        let mut s = BenchSnapshot::new("fig2");
+        s.headline("peak_double_cell_mbps", 380.0, "Mbps", Better::Higher);
+        s.headline("rtt_us", 600.0, "us", Better::Lower);
+        s.stages.push(StageRow {
+            stage: "DMA transfer".into(),
+            mean_us: 40.0,
+            p50_us: 39.0,
+            p95_us: 44.0,
+            p99_us: 45.0,
+        });
+        s.counters.push(("node0.board.rx.cells".into(), 1234));
+        s
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = sample();
+        let parsed = BenchSnapshot::parse(&s.to_json()).unwrap();
+        assert_eq!(parsed.name, "fig2");
+        assert_eq!(parsed.headlines.len(), 2);
+        assert_eq!(parsed.headlines[0].name, "peak_double_cell_mbps");
+        assert_eq!(parsed.headlines[0].value, 380.0);
+        assert_eq!(parsed.headlines[1].better, Better::Lower);
+        assert_eq!(parsed.stages.len(), 1);
+        assert_eq!(parsed.stages[0].p95_us, 44.0);
+        assert_eq!(parsed.counters, vec![("node0.board.rx.cells".into(), 1234)]);
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let s = sample();
+        let r = compare(&s, &s, 5.0);
+        assert_eq!(r.failures(), 0);
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn injected_ten_percent_slowdown_is_caught() {
+        let old = sample();
+        let mut new = sample();
+        // Throughput down 10%, latency up 10%: both must trip a 5% gate.
+        new.headlines[0].value = 380.0 * 0.9;
+        new.headlines[1].value = 600.0 * 1.1;
+        let r = compare(&old, &new, 5.0);
+        assert_eq!(r.failures(), 2, "{}", r.render());
+        assert!(r.rows.iter().all(|row| row.regressed));
+        // The same movement is fine under a sloppier 15% gate.
+        assert_eq!(compare(&old, &new, 15.0).failures(), 0);
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let old = sample();
+        let mut new = sample();
+        new.headlines[0].value = 380.0 * 1.2; // faster
+        new.headlines[1].value = 600.0 * 0.8; // lower latency
+        assert_eq!(compare(&old, &new, 5.0).failures(), 0);
+    }
+
+    #[test]
+    fn vanished_metric_fails() {
+        let old = sample();
+        let mut new = sample();
+        new.headlines.remove(1);
+        let r = compare(&old, &new, 5.0);
+        assert_eq!(r.failures(), 1);
+        assert_eq!(r.missing, vec!["rtt_us".to_string()]);
+        assert!(r.render().contains("MISSING"));
+    }
+}

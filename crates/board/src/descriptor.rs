@@ -42,7 +42,7 @@
 use osiris_atm::Vci;
 use osiris_mem::PhysAddr;
 use osiris_sim::resource::Grant;
-use osiris_sim::{FifoResource, SimDuration, SimTime};
+use osiris_sim::{FifoResource, SimDuration, SimTime, TraceCtx};
 
 /// 32-bit words per descriptor: packed address, length+flags, VCI.
 pub const DESC_WORDS: u64 = 3;
@@ -66,6 +66,10 @@ pub struct Descriptor {
     /// Receive direction only: set on the EOP descriptor when the PDU
     /// failed its AAL CRC (the host must discard and recycle the buffers).
     pub err: bool,
+    /// Simulation-side causal identity of the PDU this buffer belongs to
+    /// (per-PDU tracing metadata; not part of the 3 descriptor words and
+    /// never charged as a load or store).
+    pub ctx: Option<TraceCtx>,
 }
 
 impl Descriptor {
@@ -77,7 +81,14 @@ impl Descriptor {
             vci,
             eop,
             err: false,
+            ctx: None,
         }
+    }
+
+    /// The same descriptor tagged with a PDU's trace identity.
+    pub fn with_ctx(mut self, ctx: Option<TraceCtx>) -> Self {
+        self.ctx = ctx;
+        self
     }
 }
 

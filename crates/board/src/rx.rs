@@ -31,7 +31,7 @@ use osiris_atm::sar::{CellDisposition, Reassembler, ReassemblyMode};
 use osiris_atm::{Cell, Vci};
 use osiris_mem::{DataCache, MemorySystem, PhysAddr, PhysMemory};
 use osiris_sim::obs::{Counter, Probe};
-use osiris_sim::{FifoResource, SimDuration, SimTime};
+use osiris_sim::{FifoResource, SimDuration, SimTime, Timeline, TraceCtx};
 
 use crate::descriptor::{DescRing, Descriptor};
 
@@ -137,16 +137,23 @@ struct PduBufState {
     buf_fill: Vec<u32>,
     pushed_upto: usize,
     poisoned: bool,
+    /// Trace identity carried by the PDU's cells (first cell wins).
+    ctx: Option<TraceCtx>,
+    /// When the PDU's first cell reached the firmware — the start of its
+    /// reassembly window on the timeline.
+    first_at: SimTime,
 }
 
 impl PduBufState {
-    fn new(page: usize) -> Self {
+    fn new(page: usize, first_at: SimTime) -> Self {
         PduBufState {
             page,
             bufs: Vec::new(),
             buf_fill: Vec::new(),
             pushed_upto: 0,
             poisoned: false,
+            ctx: None,
+            first_at,
         }
     }
 }
@@ -196,6 +203,7 @@ struct PendingDma {
     buf_index: usize,
     gen: u64,
     ready: SimTime,
+    ctx: Option<TraceCtx>,
 }
 
 /// The receive half of the board.
@@ -212,6 +220,19 @@ pub struct RxProcessor {
     pending_gen: u64,
     authorized: Vec<Option<HashSet<u64>>>,
     stats: RxCounters,
+    /// Per-PDU tracing sink (detached/disabled until the harness installs
+    /// a shared timeline via [`RxProcessor::set_timeline`]).
+    timeline: Timeline,
+    /// Track prefix for this processor's spans (`<scope>.rx`).
+    track: String,
+    /// End of the last DMA grant this processor issued — bus-wait spans
+    /// are clamped to start here so same-track spans never overlap.
+    last_dma_end: SimTime,
+    /// End of the last `sar.reasm` span — fragments pipeline through the
+    /// reassembler, so each window is clamped to start after the previous
+    /// one closed (the clipped head is genuine waiting, attributed to the
+    /// neighbouring stages by the critical-path analyzer).
+    sar_span_floor: SimTime,
 }
 
 impl RxProcessor {
@@ -239,7 +260,18 @@ impl RxProcessor {
             pending_gen: 0,
             authorized: vec![None; QUEUE_PAGES],
             stats: RxCounters::with_probe(probe),
+            timeline: Timeline::default(),
+            track: probe.scoped("rx").scope().to_string(),
+            last_dma_end: SimTime::ZERO,
+            sar_span_floor: SimTime::ZERO,
         }
+    }
+
+    /// Installs the shared timeline this processor opens its per-PDU
+    /// spans on (`sar.reasm` on `<scope>.rx`, `bus.wait`/`dma.rx` on
+    /// `<scope>.rx.dma`).
+    pub fn set_timeline(&mut self, timeline: &Timeline) {
+        self.timeline = timeline.clone();
     }
 
     /// The configuration in force.
@@ -371,9 +403,13 @@ impl RxProcessor {
         };
 
         let key = (vci, disp.pdu);
-        self.pdu_state
+        let state = self
+            .pdu_state
             .entry(key)
-            .or_insert_with(|| PduBufState::new(page));
+            .or_insert_with(|| PduBufState::new(page, now));
+        if state.ctx.is_none() {
+            state.ctx = cell.ctx;
+        }
 
         // Store the payload unless the PDU is being shed.
         let poisoned = self.pdu_state[&key].poisoned;
@@ -407,6 +443,17 @@ impl RxProcessor {
                     dropped: true,
                 });
             } else {
+                // The PDU's reassembly window: first cell at the firmware
+                // to descriptor push. DMA/bus spans nest inside it; the
+                // residue is genuine waiting for the PDU's other cells.
+                if let Some(ctx) = state.ctx {
+                    let from = state.first_at.max(self.sar_span_floor);
+                    if t_pdu > from {
+                        self.timeline
+                            .span_ctx(&self.track, "sar.reasm", ctx, from, t_pdu);
+                    }
+                    self.sar_span_floor = self.sar_span_floor.max(t_pdu);
+                }
                 // Push the remaining buffers in order; EOP on the last.
                 self.finish_pdu(t_pdu, state, vci, complete.len, complete.crc_ok, &mut out);
                 self.stats.pdus_delivered.incr();
@@ -440,7 +487,7 @@ impl RxProcessor {
             _ => return false,
         }
         let p = self.pending.take().expect("checked");
-        self.issue_dma(now.max(p.ready), p.addr, &p.data, mem, cache, phys);
+        self.issue_dma(now.max(p.ready), p.addr, &p.data, p.ctx, mem, cache, phys);
         true
     }
 
@@ -461,6 +508,7 @@ impl RxProcessor {
     ) -> SimTime {
         let bb = self.cfg.buffer_bytes;
         let data = cell.data_bytes();
+        let ctx = self.pdu_state[&key].ctx;
         let mut t_done = t_fw;
 
         // Split the payload at receive-buffer boundaries.
@@ -499,10 +547,10 @@ impl RxProcessor {
 
             if self.cfg.dma_mode != DmaMode::SingleCell {
                 t_done = t_done.max(self.double_cell_store(
-                    t_fw, key, bi, addr, bytes, must_issue, mem, cache, phys, out,
+                    t_fw, key, bi, addr, bytes, ctx, must_issue, mem, cache, phys, out,
                 ));
             } else {
-                t_done = t_done.max(self.issue_dma(t_fw, addr, bytes, mem, cache, phys));
+                t_done = t_done.max(self.issue_dma(t_fw, addr, bytes, ctx, mem, cache, phys));
             }
 
             // Push buffers that are now full (in order).
@@ -515,6 +563,7 @@ impl RxProcessor {
                     vci: key.0,
                     eop: false,
                     err: false,
+                    ctx,
                 };
                 state.pushed_upto = bi + 1;
                 self.push_rx(t_done, page, desc, out);
@@ -533,6 +582,7 @@ impl RxProcessor {
         bi: usize,
         addr: PhysAddr,
         bytes: &[u8],
+        ctx: Option<TraceCtx>,
         must_issue: bool,
         mem: &mut MemorySystem,
         cache: &mut DataCache,
@@ -561,7 +611,15 @@ impl RxProcessor {
                 merged.extend_from_slice(bytes);
                 self.stats.double_cell_merges.incr();
                 if must_issue || merged.len() + CELL_MAX > cap {
-                    return self.issue_dma(t_fw.max(p.ready), p.addr, &merged, mem, cache, phys);
+                    return self.issue_dma(
+                        t_fw.max(p.ready),
+                        p.addr,
+                        &merged,
+                        ctx,
+                        mem,
+                        cache,
+                        phys,
+                    );
                 }
                 // Arbitrary mode: keep accumulating.
                 self.pending_gen += 1;
@@ -574,16 +632,17 @@ impl RxProcessor {
                     buf_index: bi,
                     gen,
                     ready,
+                    ctx,
                 });
                 out.flush_deadline = Some((gen, t_fw + self.cfg.lookahead_window));
                 return t_fw;
             }
             // Not combinable: flush the pending payload on its own.
-            self.issue_dma(t_fw.max(p.ready), p.addr, &p.data, mem, cache, phys);
+            self.issue_dma(t_fw.max(p.ready), p.addr, &p.data, p.ctx, mem, cache, phys);
         }
 
         if must_issue {
-            return self.issue_dma(t_fw, addr, bytes, mem, cache, phys);
+            return self.issue_dma(t_fw, addr, bytes, ctx, mem, cache, phys);
         }
 
         // Hold this payload, waiting for a combinable successor.
@@ -596,6 +655,7 @@ impl RxProcessor {
             buf_index: bi,
             gen,
             ready: t_fw,
+            ctx,
         });
         out.flush_deadline = Some((gen, t_fw + self.cfg.lookahead_window));
         // The data is not yet in memory; the caller must not treat the
@@ -606,17 +666,20 @@ impl RxProcessor {
     /// Issues the DMA transactions for one contiguous payload (page-
     /// boundary-stop rule applies) and writes the bytes through the
     /// coherence model. Returns the completion time.
+    #[allow(clippy::too_many_arguments)]
     fn issue_dma(
         &mut self,
         at: SimTime,
         addr: PhysAddr,
         data: &[u8],
+        ctx: Option<TraceCtx>,
         mem: &mut MemorySystem,
         cache: &mut DataCache,
         phys: &mut PhysMemory,
     ) -> SimTime {
         let mut t = at;
         let mut off = 0usize;
+        let traced = ctx.filter(|_| self.timeline.is_enabled());
         for xfer in plan_dma(
             self.cfg.dma_mode,
             addr,
@@ -624,6 +687,19 @@ impl RxProcessor {
             self.cfg.page_size,
         ) {
             let g = mem.dma_write(t, xfer.len as u64);
+            if let Some(c) = traced {
+                // Bus arbitration (clamped behind our previous grant so
+                // spans on the DMA track never overlap), then the data.
+                let track = format!("{}.dma", self.track);
+                let wait_from = t.max(self.last_dma_end);
+                if g.start > wait_from {
+                    self.timeline
+                        .span_ctx(&track, "bus.wait", c, wait_from, g.start);
+                }
+                self.timeline
+                    .span_ctx(&track, "dma.rx", c, g.start, g.finish);
+            }
+            self.last_dma_end = self.last_dma_end.max(g.finish);
             t = g.finish;
             cache.dma_write(phys, xfer.addr, &data[off..off + xfer.len as usize]);
             off += xfer.len as usize;
@@ -698,6 +774,7 @@ impl RxProcessor {
                 vci,
                 eop: is_last,
                 err: is_last && !crc_ok,
+                ctx: state.ctx,
             };
             self.push_rx(t, page, desc, out);
         }

@@ -20,13 +20,13 @@
 //!    learns the buffers are reusable (§2.1.2); the only transmit
 //!    interrupt is the full → half-empty wakeup for a blocked host.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use osiris_atm::sar::{FramingMode, SegmentUnit, Segmenter};
 use osiris_atm::{Cell, StripedLink, Vci};
 use osiris_mem::{MemorySystem, PhysBuffer, PhysMemory};
 use osiris_sim::obs::{Counter, Probe};
-use osiris_sim::{Clock, FifoResource, SimTime};
+use osiris_sim::{Clock, FifoResource, SimTime, Timeline};
 
 use crate::descriptor::{DescRing, Descriptor};
 use crate::dma::{plan_dma, DmaMode};
@@ -140,6 +140,13 @@ pub struct TxProcessor {
     cells_sent: Counter,
     bytes_sent: Counter,
     wakeups: Counter,
+    /// Per-PDU tracing sink (disabled until the harness installs one).
+    timeline: Timeline,
+    /// Track prefix for this processor's spans (`<scope>.tx`).
+    track: String,
+    /// End of the last DMA grant issued — bus-wait spans are clamped
+    /// behind it so same-track spans never overlap.
+    last_dma_end: SimTime,
 }
 
 impl TxProcessor {
@@ -166,7 +173,17 @@ impl TxProcessor {
             cells_sent: p.counter("cells_sent"),
             bytes_sent: p.counter("bytes_sent"),
             wakeups: p.counter("wakeups"),
+            timeline: Timeline::default(),
+            track: p.scope().to_string(),
+            last_dma_end: SimTime::ZERO,
         }
+    }
+
+    /// Installs the shared timeline this processor opens its per-PDU
+    /// spans on (`fw.tx` on `<scope>.tx`, `bus.wait`/`dma.tx` on
+    /// `<scope>.tx.dma`, per-lane wire spans on `<scope>.tx.lane<i>`).
+    pub fn set_timeline(&mut self, timeline: &Timeline) {
+        self.timeline = timeline.clone();
     }
 
     /// The configuration in force.
@@ -295,6 +312,8 @@ impl TxProcessor {
             .engine
             .acquire(now, self.cfg.fw.clock.cycles(self.cfg.fw.tx_pdu_cycles));
         let mut fw_cursor = pdu_grant.finish;
+        let ctx = chain.iter().find_map(|d| d.ctx);
+        let traced = ctx.filter(|_| self.timeline.is_enabled());
 
         // Fetch plan: every physically contiguous piece, split by DMA mode
         // and the page-boundary-stop rule.
@@ -307,6 +326,20 @@ impl TxProcessor {
         for piece in &pieces {
             for xfer in plan_dma(self.cfg.dma_mode, piece.addr, piece.len, self.cfg.page_size) {
                 let g = mem.dma_read(fw_cursor, xfer.len as u64);
+                if let Some(c) = traced {
+                    // Bus arbitration (clamped behind the previous grant
+                    // so spans on the DMA track never overlap), then the
+                    // fetch itself.
+                    let track = format!("{}.dma", self.track);
+                    let wait_from = fw_cursor.max(self.last_dma_end);
+                    if g.start > wait_from {
+                        self.timeline
+                            .span_ctx(&track, "bus.wait", c, wait_from, g.start);
+                    }
+                    self.timeline
+                        .span_ctx(&track, "dma.tx", c, g.start, g.finish);
+                }
+                self.last_dma_end = self.last_dma_end.max(g.finish);
                 fetched += xfer.len as u64;
                 fetch_done_at.push((fetched, g.finish));
             }
@@ -329,6 +362,9 @@ impl TxProcessor {
         let mut data_cursor = 0u64;
         let mut fetch_idx = 0usize;
         let mut last_finish = fw_cursor;
+        // Per-lane wire window for this PDU: first cell handed to the
+        // lane → last arrival at the peer.
+        let mut lane_win: HashMap<usize, (SimTime, SimTime)> = HashMap::new();
         for (i, mut cell) in cells.into_iter().enumerate() {
             let fw_grant = self.engine.acquire(
                 fw_cursor,
@@ -346,13 +382,40 @@ impl TxProcessor {
             let ready = fw_grant.finish.max(data_ready);
             last_finish = last_finish.max(ready);
             self.cells_sent.incr();
+            cell.ctx = ctx;
             if let Some((lane, arrival)) = link.send_cell(ready, i as u32, &mut cell) {
+                lane_win
+                    .entry(lane)
+                    .and_modify(|w| {
+                        w.0 = w.0.min(ready);
+                        w.1 = w.1.max(arrival);
+                    })
+                    .or_insert((ready, arrival));
                 arrivals.push((arrival, lane, cell));
             }
         }
 
         self.pdus_sent.incr();
         self.bytes_sent.add(pdu_bytes);
+
+        if let Some(c) = traced {
+            // The segmentation umbrella: per-PDU firmware work up to the
+            // last cell launched. DMA and wire spans nest inside; the
+            // residue is firmware cycles and fetch pipelining.
+            self.timeline
+                .span_ctx(&self.track, "fw.tx", c, pdu_grant.start, last_finish);
+            let mut lanes: Vec<_> = lane_win.into_iter().collect();
+            lanes.sort_unstable_by_key(|&(l, _)| l);
+            for (lane, (from, to)) in lanes {
+                self.timeline.span_ctx(
+                    &format!("{}.lane{lane}", self.track),
+                    "lane.tx",
+                    c,
+                    from,
+                    to,
+                );
+            }
+        }
 
         // Full → half-empty wakeup.
         let wake_host_at = if self.host_waiting[q] && self.queues[q].at_most_half_full() {

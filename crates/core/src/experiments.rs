@@ -8,7 +8,7 @@ use osiris_host::machine::MachineSpec;
 use osiris_mem::BusSpec;
 use osiris_proto::wire::{IP_HEADER_BYTES, UDP_HEADER_BYTES};
 use osiris_sim::stats::{LatencyStats, ThroughputMeter};
-use osiris_sim::SimTime;
+use osiris_sim::{CriticalPath, HistSummary, SimTime, Stage};
 
 use crate::config::{Layer, TestbedConfig};
 use crate::scenario::Scenario;
@@ -444,6 +444,7 @@ pub fn latency_budget(cfg: &TestbedConfig) -> Vec<(&'static str, f64)> {
     let tl = &sim.model.timeline;
     let find = |track: &str, name: &str| {
         tl.events()
+            .into_iter()
             .find(|e| e.track == track && e.name == name)
             .map(|e| e.at)
     };
@@ -452,6 +453,7 @@ pub fn latency_budget(cfg: &TestbedConfig) -> Vec<(&'static str, f64)> {
     let first_cell = find("node1.board.rx", "cell").expect("cell");
     let last_cell = tl
         .events()
+        .into_iter()
         .filter(|e| e.track == "node1.board.rx" && e.name == "cell")
         .map(|e| e.at)
         .max()
@@ -487,6 +489,53 @@ pub fn latency_budget(cfg: &TestbedConfig) -> Vec<(&'static str, f64)> {
             reply.since(drain).as_us_f64(),
         ),
     ]
+}
+
+/// Critical-path anatomy of a scenario run: per-stage latency
+/// distributions over every traced PDU, computed from the causal
+/// timeline rather than hand-picked event markers.
+#[derive(Debug, Clone)]
+pub struct StageAnatomy {
+    /// `(stage, summary-in-µs)` rows in path order; zero stages omitted.
+    pub stages: Vec<(Stage, HistSummary)>,
+    /// End-to-end latency distribution (µs) over the same PDUs.
+    pub e2e: HistSummary,
+    /// Traced PDUs the distributions are computed over.
+    pub pdus: usize,
+    /// Timeline evictions during the run (non-zero means the numbers
+    /// above are incomplete; the report layer prints a loud warning).
+    pub dropped_spans: u64,
+    /// Full registry read-out at the end of the run, so a bench snapshot
+    /// can archive the counters next to the percentiles.
+    pub snapshot: osiris_sim::Snapshot,
+}
+
+/// Runs `scenario` with per-PDU tracing enabled and attributes every
+/// traced PDU's end-to-end latency to typed stages. Unlike
+/// [`latency_budget`] — which reads six hand-picked markers off one
+/// ping — this covers *all* PDUs and is exhaustive by construction:
+/// each PDU's stage durations sum exactly to its measured latency.
+pub fn stage_anatomy(scenario: Scenario, cfg: &TestbedConfig) -> StageAnatomy {
+    let mut sim = scenario.launch(cfg.clone());
+    sim.model.timeline.set_enabled(true);
+    loop {
+        if sim.model.done || sim.now() > DEADLINE {
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    assert!(sim.model.done, "stage-anatomy run did not complete");
+    assert_eq!(sim.model.verify_failures, 0, "payload corruption");
+    let paths = CriticalPath::analyze_all(&sim.model.timeline);
+    StageAnatomy {
+        stages: CriticalPath::stage_percentiles(&paths),
+        e2e: CriticalPath::e2e_summary(&paths),
+        pdus: paths.len(),
+        dropped_spans: sim.model.timeline.dropped(),
+        snapshot: sim.model.snapshot(),
+    }
 }
 
 /// §3.1: the three ways to move a received message across a protection
@@ -628,6 +677,27 @@ mod tests {
             .1;
         assert!((85.0..95.0).contains(&intr), "interrupt stage {intr}");
         assert!(budget.iter().all(|&(_, us)| us >= 0.0));
+    }
+
+    #[test]
+    fn stage_anatomy_explains_the_whole_trip() {
+        let mut cfg = TestbedConfig::ds5000_200_udp();
+        cfg.msg_size = 1024;
+        cfg.messages = 2;
+        let a = stage_anatomy(Scenario::Pair, &cfg);
+        assert_eq!(a.pdus, 4, "2 pings + 2 pongs");
+        assert_eq!(a.dropped_spans, 0);
+        // Exhaustive attribution: mean stage times sum to mean e2e.
+        let sum: f64 = a.stages.iter().map(|(_, h)| h.time_weighted_mean).sum();
+        let e2e = a.e2e.time_weighted_mean;
+        assert!(
+            (sum - e2e).abs() < e2e * 1e-6,
+            "stage means {sum} must sum to e2e mean {e2e}"
+        );
+        // The big stages of a one-way trip all show up.
+        for stage in [Stage::ProtocolCpu, Stage::DmaTransfer, Stage::Wire] {
+            assert!(a.stages.iter().any(|&(s, _)| s == stage), "missing {stage}");
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use std::fmt::Write as _;
 
-use osiris_sim::Snapshot;
+use osiris_sim::{HistSummary, Snapshot, Stage};
 
 /// Renders a table with a header row and aligned columns.
 pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
@@ -145,6 +145,59 @@ pub fn latency_anatomy(stages: &[(&str, f64)]) -> String {
     out
 }
 
+/// Renders per-stage latency attribution (µs, as produced by
+/// `CriticalPath::stage_percentiles`) plus a closing end-to-end row.
+/// Because each PDU's stages sum exactly to its latency, the mean
+/// column sums to the mean end-to-end figure — the table explains the
+/// whole trip, not a sample of it.
+pub fn stage_table(title: &str, stages: &[(Stage, HistSummary)], e2e: &HistSummary) -> String {
+    let f = |v: f64| format!("{v:.1}");
+    let mut rows: Vec<Vec<String>> = stages
+        .iter()
+        .map(|(s, h)| {
+            vec![
+                s.label().to_string(),
+                f(h.time_weighted_mean),
+                f(h.p50),
+                f(h.p95),
+                f(h.p99),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "end-to-end".into(),
+        f(e2e.time_weighted_mean),
+        f(e2e.p50),
+        f(e2e.p95),
+        f(e2e.p99),
+    ]);
+    table(
+        title,
+        &["stage", "mean us", "p50 us", "p95 us", "p99 us"],
+        &rows,
+    )
+}
+
+/// Loud footer for any report whose numbers came off the timeline: a
+/// non-zero `*.timeline.dropped` / `*.trace.dropped` counter means the
+/// ring evicted records, so span trees and percentiles above are
+/// incomplete. Returns `None` when nothing was lost.
+pub fn dropped_spans_warning(snap: &Snapshot) -> Option<String> {
+    let lost: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.ends_with(".timeline.dropped") || k.ends_with(".trace.dropped"))
+        .map(|(_, &v)| v)
+        .sum();
+    (lost > 0).then(|| {
+        format!(
+            "WARN: {lost} spans dropped — ring capacity exceeded; \
+             latency attribution above is incomplete \
+             (raise timeline_capacity/trace_capacity)"
+        )
+    })
+}
+
 /// Formats `paper` vs `measured` with the ratio, for EXPERIMENTS.md rows.
 pub fn compare(label: &str, paper: f64, measured: f64) -> String {
     let ratio = if paper != 0.0 {
@@ -212,6 +265,39 @@ mod tests {
     fn ascii_plot_handles_single_point() {
         let plot = ascii_plot("t", "y", &[16], &["s"], &[vec![42.0]], 5);
         assert!(plot.contains('3'));
+    }
+
+    #[test]
+    fn stage_table_has_stage_and_e2e_rows() {
+        let h = HistSummary {
+            time_weighted_mean: 100.0,
+            min: 90.0,
+            max: 120.0,
+            samples: 4,
+            p50: 100.0,
+            p95: 118.0,
+            p99: 120.0,
+        };
+        let t = stage_table("anatomy", &[(Stage::DmaTransfer, h), (Stage::Wire, h)], &h);
+        assert!(t.contains("DMA transfer"));
+        assert!(t.contains("wire"));
+        assert!(t.contains("end-to-end"));
+        assert!(t.contains("118.0"));
+    }
+
+    #[test]
+    fn dropped_warning_fires_only_on_loss() {
+        let reg = osiris_sim::Registry::new();
+        let probe = reg.probe("sim").scoped("timeline");
+        let c = probe.counter("dropped");
+        assert_eq!(dropped_spans_warning(&reg.snapshot()), None);
+        c.add(7);
+        let warn = dropped_spans_warning(&reg.snapshot()).expect("must warn");
+        assert!(warn.contains("WARN: 7 spans dropped"), "{warn}");
+        // Unrelated `.dropped` counters stay out of the tally.
+        reg.probe("node0").scoped("board").counter("dropped").add(9);
+        let warn = dropped_spans_warning(&reg.snapshot()).unwrap();
+        assert!(warn.contains("7 spans"), "{warn}");
     }
 
     #[test]

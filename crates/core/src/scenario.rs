@@ -156,11 +156,16 @@ impl Scenario {
         }
         let n = self.node_count();
         let registry = Registry::new();
+        let sim_probe = registry.probe("sim");
+        let trace = Trace::with_probe(cfg.sim.trace_capacity, &sim_probe);
+        // Created before the nodes so every layer can hold a handle to
+        // the one shared timeline (disabled until a caller opts in).
+        let timeline = Timeline::with_probe(cfg.sim.timeline_capacity, &sim_probe);
         let endpoints = self.endpoints(&cfg);
         let mut nodes: Vec<HostNode> = Vec::with_capacity(n);
         let mut adc_mgrs: Vec<AdcManager> = Vec::new();
         for (i, eps) in endpoints.iter().enumerate() {
-            let (node, adc) = HostNode::build(&cfg, NodeId(i), &registry, eps);
+            let (node, adc) = HostNode::build(&cfg, NodeId(i), &registry, eps, &timeline);
             nodes.push(node);
             if let Some(m) = adc {
                 adc_mgrs.push(m);
@@ -197,10 +202,6 @@ impl Scenario {
             Box::new(BackToBack::new(&cfg, &registry, n))
         };
 
-        let sim_probe = registry.probe("sim");
-        let trace = Trace::with_probe(cfg.sim.trace_capacity, &sim_probe);
-        let timeline = Timeline::with_probe(cfg.sim.timeline_capacity, &sim_probe);
-
         // The early-visibility bound (modelling note in `testbed`): one
         // receive DMA grant over the largest transfer the DMA mode (or
         // failing that, a whole page) permits.
@@ -232,6 +233,8 @@ impl Scenario {
             expected_deliveries: 0,
             delivered_count: 0,
             drain_ahead_bound,
+            eop_pushed: std::collections::HashMap::new(),
+            switch_span_floor: std::collections::HashMap::new(),
         };
 
         // Workload: roles, budgets, completion rule.

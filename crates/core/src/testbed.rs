@@ -29,6 +29,8 @@
 //! ([`Testbed::max_drain_ahead`] records the worst case); the skew does
 //! not affect any reported steady-state number.
 
+use std::collections::HashMap;
+
 use osiris_adc::AdcManager;
 use osiris_atm::sar::{ReassemblyMode, SegmentUnit, Segmenter};
 use osiris_atm::stripe::StripedLink;
@@ -36,7 +38,7 @@ use osiris_atm::Cell;
 use osiris_host::driver::{interrupt_to_thread, DeliveredPdu, SendOutcome};
 use osiris_sim::obs::Snapshot;
 use osiris_sim::stats::{LatencyStats, ThroughputMeter};
-use osiris_sim::{EventQueue, Model, Registry, SimDuration, SimTime, Timeline, Trace};
+use osiris_sim::{EventQueue, Model, Registry, SimDuration, SimTime, Timeline, Trace, TraceCtx};
 
 use osiris_proto::stack::{ProtoConfig, ProtoStack, RxVerdict};
 
@@ -139,6 +141,14 @@ pub struct Testbed {
     /// Bound on the descriptor early-visibility window (one receive DMA
     /// grant: bus queueing + largest transfer).
     pub(crate) drain_ahead_bound: SimDuration,
+    /// When each traced PDU's end-of-PDU descriptor reached the receive
+    /// ring, keyed by `(node, ctx)` — the anchor for the `intr.wait`
+    /// span (descriptor visible → drain thread runs).
+    pub(crate) eop_pushed: HashMap<(usize, TraceCtx), SimTime>,
+    /// End of the last `switch.q` span per `(ctx, port)`: fragments of
+    /// one datagram pipeline through the switch, and spans on one track
+    /// must never overlap.
+    pub(crate) switch_span_floor: HashMap<(TraceCtx, usize), SimTime>,
 }
 
 impl Testbed {
@@ -206,13 +216,23 @@ impl Testbed {
             }
             node.pattern = pattern;
         }
+        // Application-side work ends here; what follows is stack/driver
+        // time charged (and traced) by the layers themselves.
+        let t_app = t;
+        let ctx;
         match layer {
             Layer::RawAtm => {
                 let bufs = node
                     .asp
                     .translate(data_base, msg_size.max(1))
                     .expect("message translate");
-                node.pending_pkts.push_back((tx_vci, bufs));
+                let c = TraceCtx {
+                    host: host.0 as u16,
+                    pdu: node.raw_ctx_seq,
+                };
+                node.raw_ctx_seq += 1;
+                ctx = Some(c);
+                node.pending_pkts.push_back((tx_vci, bufs, Some(c)));
             }
             Layer::UdpIp => {
                 let data = osiris_proto::msg::Message::single(data_base, msg_size as u32);
@@ -232,9 +252,21 @@ impl Testbed {
                     .output(t, &mut node.host, &node.asp, data, src, dst, dst_host)
                     .expect("stack output");
                 t = t2;
+                ctx = pkts.first().map(|p| p.ctx);
                 for p in &pkts {
                     let bufs = node.stack.to_phys(&node.asp, p).expect("translate packet");
-                    node.pending_pkts.push_back((tx_vci, bufs));
+                    node.pending_pkts.push_back((tx_vci, bufs, Some(p.ctx)));
+                }
+            }
+        }
+        if self.timeline.is_enabled() {
+            if let Some(c) = ctx {
+                let node = &mut self.nodes[host.0];
+                let from = now.max(node.app_span_floor);
+                if t_app > from {
+                    self.timeline
+                        .span_ctx(&format!("node{host}.app"), "app.send", c, from, t_app);
+                    node.app_span_floor = t_app;
                 }
             }
         }
@@ -246,7 +278,7 @@ impl Testbed {
         let node = &mut self.nodes[host.0];
         let mut t = now;
         let mut queued_any = false;
-        while let Some((vci, bufs)) = node.pending_pkts.pop_front() {
+        while let Some((vci, bufs, ctx)) = node.pending_pkts.pop_front() {
             let wire_from = node.msg_region;
             let out: SendOutcome = node.driver.send_pdu(
                 t,
@@ -255,9 +287,10 @@ impl Testbed {
                 vci,
                 &bufs,
                 Some((&mut node.asp, wire_from.base, wire_from.len)),
+                ctx,
             );
             if out.blocked {
-                node.pending_pkts.push_front((vci, bufs));
+                node.pending_pkts.push_front((vci, bufs, ctx));
                 break;
             }
             t = out.queued_at;
@@ -284,8 +317,19 @@ impl Testbed {
                 self.meter.record(out.finished_at, out.pdu_bytes);
             }
         } else {
+            // Per-PDU switch-queueing windows: time cells of one traced
+            // PDU spend between leaving the sender's link and landing at
+            // the destination (zero on back-to-back links).
+            let mut sw_win: HashMap<(TraceCtx, usize), (SimTime, SimTime)> = HashMap::new();
             for (at, lane, cell) in out.arrivals {
                 if let Some(d) = self.fabric.route(host, at, lane, &cell) {
+                    if self.timeline.is_enabled() && d.at > at {
+                        if let Some(c) = cell.ctx {
+                            let e = sw_win.entry((c, d.to.0)).or_insert((at, d.at));
+                            e.0 = e.0.min(at);
+                            e.1 = e.1.max(d.at);
+                        }
+                    }
                     q.push(
                         d.at,
                         Event::CellArrival {
@@ -294,6 +338,22 @@ impl Testbed {
                             cell,
                         },
                     );
+                }
+            }
+            let mut wins: Vec<_> = sw_win.into_iter().collect();
+            wins.sort_unstable_by_key(|&((c, p), _)| (c, p));
+            for ((c, port), (from, to)) in wins {
+                let floor = self.switch_span_floor.entry((c, port)).or_default();
+                let from = from.max(*floor);
+                if to > from {
+                    self.timeline.span_ctx(
+                        &format!("fabric.switch.port{port}"),
+                        "switch.q",
+                        c,
+                        from,
+                        to,
+                    );
+                    *floor = to;
                 }
             }
         }
@@ -337,6 +397,18 @@ impl Testbed {
             &mut node.host.phys,
         );
         node.note_rx_pushes(&out.pushed);
+        if self.timeline.is_enabled() {
+            // Anchor for the interrupt-delivery wait: once the PDU's
+            // end-of-PDU descriptor is visible, it sits in the ring until
+            // the drain thread runs (§2.1.2 suppression shows up here).
+            for (t, _, d) in &out.pushed {
+                if d.eop {
+                    if let Some(c) = d.ctx {
+                        self.eop_pushed.insert((host.0, c), *t);
+                    }
+                }
+            }
+        }
         if let Some((gen, at)) = out.flush_deadline {
             q.push(at, Event::RxFlush { host, gen });
         }
@@ -401,6 +473,22 @@ impl Testbed {
                 now,
                 drained.finished_at,
             );
+            // Interrupt-delivery wait per drained PDU: eop descriptor
+            // visible → drain start. One resource (the host CPU's
+            // interrupt path), so spans are clamped to never overlap.
+            for pdu in &drained.delivered {
+                let Some(c) = pdu.ctx else { continue };
+                let Some(pushed) = self.eop_pushed.remove(&(host.0, c)) else {
+                    continue;
+                };
+                let node = &mut self.nodes[host.0];
+                let from = pushed.max(node.intr_wait_floor);
+                if now > from {
+                    self.timeline
+                        .span_ctx(&format!("node{host}.host"), "intr.wait", c, from, now);
+                    node.intr_wait_floor = now;
+                }
+            }
         }
         for pdu in drained.delivered {
             self.handle_pdu(host, pdu, q);
@@ -412,6 +500,7 @@ impl Testbed {
             Layer::RawAtm => {
                 let t = pdu.ready_at;
                 let len = pdu.len as u64;
+                let ctx = pdu.ctx;
                 let ok = !self.cfg.verify_data || self.verify_raw(host, &pdu);
                 if !ok {
                     self.verify_failures += 1;
@@ -421,7 +510,7 @@ impl Testbed {
                     let node = &mut self.nodes[host.0];
                     node.driver.recycle(t, &mut node.host, &mut node.rx, &descs)
                 };
-                self.deliver_app(t2, host, len, q);
+                self.deliver_app(t2, host, len, ctx, q);
             }
             Layer::UdpIp => {
                 let t = pdu.ready_at;
@@ -438,6 +527,7 @@ impl Testbed {
                     }
                     RxVerdict::Deliver {
                         src,
+                        ctx,
                         dst_port,
                         data,
                         descs,
@@ -458,7 +548,7 @@ impl Testbed {
                             node.driver
                                 .recycle(t2, &mut node.host, &mut node.rx, &descs)
                         };
-                        self.deliver_app(t3, host, len, q);
+                        self.deliver_app(t3, host, len, Some(ctx), q);
                     }
                 }
             }
@@ -515,13 +605,31 @@ impl Testbed {
     }
 
     /// The application consumes a delivered message.
-    fn deliver_app(&mut self, now: SimTime, host: NodeId, len: u64, q: &mut EventQueue<Event>) {
+    fn deliver_app(
+        &mut self,
+        now: SimTime,
+        host: NodeId,
+        len: u64,
+        ctx: Option<TraceCtx>,
+        q: &mut EventQueue<Event>,
+    ) {
         let mut t = {
             let h = &mut self.nodes[host.0].host;
             let app = h.spec.costs.app_fixed;
             h.run_software(now, app).finish
         };
         t = self.crossing_cost(t, host);
+        if self.timeline.is_enabled() {
+            if let Some(c) = ctx {
+                let node = &mut self.nodes[host.0];
+                let from = now.max(node.app_span_floor);
+                if t > from {
+                    self.timeline
+                        .span_ctx(&format!("node{host}.app"), "app.deliver", c, from, t);
+                    node.app_span_floor = t;
+                }
+            }
+        }
         if self.deliver_to_meter {
             self.meter.record(t, len);
         }
@@ -576,17 +684,27 @@ impl Testbed {
             framing,
             unit: SegmentUnit::Pdu,
         };
+        // Generator PDUs carry the identity the receiving stack re-mints
+        // from the wire IP header: (src=1, id) — see `build_wire_pdus`.
+        let ctx = TraceCtx { host: 1, pdu: id };
         match self.cfg.layer {
             Layer::UdpIp => {
                 // The fictitious sender addresses this host's open path.
                 let pdus = ProtoStack::build_wire_pdus(cfg_proto, id, 2000, 1000, &node.pattern);
                 for p in pdus {
-                    node.gen_frags.push_back(seg.segment(node.vci, &[&p]));
+                    let mut cells = seg.segment(node.vci, &[&p]);
+                    for c in &mut cells {
+                        c.ctx = Some(ctx);
+                    }
+                    node.gen_frags.push_back(cells);
                 }
             }
             Layer::RawAtm => {
-                node.gen_frags
-                    .push_back(seg.segment(node.vci, &[&node.pattern]));
+                let mut cells = seg.segment(node.vci, &[&node.pattern]);
+                for c in &mut cells {
+                    c.ctx = Some(ctx);
+                }
+                node.gen_frags.push_back(cells);
             }
         }
     }

@@ -26,7 +26,7 @@ use osiris_board::rx::RxProcessor;
 use osiris_board::tx::TxProcessor;
 use osiris_mem::{AddressSpace, PhysBuffer, VirtAddr};
 use osiris_sim::obs::{Counter, Probe};
-use osiris_sim::{SimDuration, SimTime};
+use osiris_sim::{SimDuration, SimTime, Timeline, TraceCtx};
 
 use crate::machine::HostMachine;
 use crate::wiring::WiringService;
@@ -75,6 +75,9 @@ pub struct DeliveredPdu {
     pub len: u32,
     /// When the driver finished its work on this PDU.
     pub ready_at: SimTime,
+    /// Causal identity, taken from the PDU's descriptors (None when the
+    /// board delivered untraced traffic).
+    pub ctx: Option<TraceCtx>,
 }
 
 /// Result of one receive drain.
@@ -107,7 +110,16 @@ pub struct OsirisDriver {
     pub page: usize,
     buffer_bytes: u32,
     partial: HashMap<Vci, Vec<Descriptor>>,
+    /// When each in-progress chain's first descriptor was popped, for the
+    /// per-PDU receive span.
+    chain_started: HashMap<Vci, SimTime>,
     stats: DriverCounters,
+    timeline: Timeline,
+    /// Timeline track for this driver's CPU spans (`<scope>.driver`).
+    track: String,
+    /// The driver runs on one CPU: successive per-PDU spans on this track
+    /// are clamped so they never overlap.
+    span_floor: SimTime,
 }
 
 /// The driver's registry-visible counters (scope `<probe>.driver`).
@@ -169,8 +181,18 @@ impl OsirisDriver {
             page,
             buffer_bytes,
             partial: HashMap::new(),
+            chain_started: HashMap::new(),
             stats: DriverCounters::with_probe(probe),
+            timeline: Timeline::default(),
+            track: probe.scoped("driver").scope().to_string(),
+            span_floor: SimTime::ZERO,
         }
+    }
+
+    /// Attaches the timeline this driver records its per-PDU spans on
+    /// (disabled/detached by default).
+    pub fn set_timeline(&mut self, timeline: &Timeline) {
+        self.timeline = timeline.clone();
     }
 
     /// Driver counters (a copy of the current values).
@@ -215,7 +237,9 @@ impl OsirisDriver {
     }
 
     /// Queues one PDU (a chain of physical buffers) on transmit queue
-    /// `self.page`. `wire` names the virtual range to pin first, if any.
+    /// `self.page`. `wire` names the virtual range to pin first, if any;
+    /// `ctx` is stamped onto every descriptor of the chain for tracing.
+    #[allow(clippy::too_many_arguments)]
     pub fn send_pdu(
         &mut self,
         now: SimTime,
@@ -224,6 +248,7 @@ impl OsirisDriver {
         vci: Vci,
         buffers: &[PhysBuffer],
         wire: Option<(&mut AddressSpace, VirtAddr, u64)>,
+        ctx: Option<TraceCtx>,
     ) -> SendOutcome {
         assert!(!buffers.is_empty(), "cannot send an empty PDU");
         let mut t = now;
@@ -255,7 +280,7 @@ impl OsirisDriver {
         let n = buffers.len();
         for (i, b) in buffers.iter().enumerate() {
             t = host.run_software(t, host.spec.costs.driver_buffer).finish;
-            let d = Descriptor::tx(b.addr, b.len, vci, i == n - 1);
+            let d = Descriptor::tx(b.addr, b.len, vci, i == n - 1).with_ctx(ctx);
             let cost = tx
                 .queue_mut(self.page)
                 .push(d)
@@ -264,6 +289,13 @@ impl OsirisDriver {
             self.stats.tx_buffers.incr();
         }
         self.stats.pdus_sent.incr();
+        if let Some(c) = ctx.filter(|_| self.timeline.is_enabled()) {
+            let from = now.max(self.span_floor);
+            if t > from {
+                self.timeline.span_ctx(&self.track, "driver.tx", c, from, t);
+                self.span_floor = t;
+            }
+        }
         SendOutcome {
             queued_at: t,
             blocked: false,
@@ -288,6 +320,7 @@ impl OsirisDriver {
             if empty {
                 break;
             }
+            let t_desc = t;
             let (desc, cost) = rx.rx_ring_mut(self.page).pop().expect("checked non-empty");
             t = self.charge_ring(t, host, cost);
             t = host.run_software(t, host.spec.costs.driver_buffer).finish;
@@ -301,9 +334,13 @@ impl OsirisDriver {
             }
 
             let chain = self.partial.entry(desc.vci).or_default();
+            if chain.is_empty() {
+                self.chain_started.insert(desc.vci, t_desc);
+            }
             chain.push(desc);
             if desc.eop {
                 let bufs = self.partial.remove(&desc.vci).expect("just inserted");
+                let started = self.chain_started.remove(&desc.vci).unwrap_or(now);
                 t = host.run_software(t, host.spec.costs.driver_pdu).finish;
                 if desc.err {
                     // Board-flagged CRC failure: recycle, never deliver.
@@ -311,12 +348,21 @@ impl OsirisDriver {
                     t = self.recycle(t, host, rx, &bufs);
                 } else {
                     let len = bufs.iter().map(|d| d.len).sum();
+                    let ctx = bufs.iter().find_map(|d| d.ctx);
+                    if let Some(c) = ctx.filter(|_| self.timeline.is_enabled()) {
+                        let from = started.max(self.span_floor);
+                        if t > from {
+                            self.timeline.span_ctx(&self.track, "driver.rx", c, from, t);
+                            self.span_floor = t;
+                        }
+                    }
                     self.stats.pdus_received.incr();
                     out.delivered.push(DeliveredPdu {
                         vci: desc.vci,
                         bufs,
                         len,
                         ready_at: t,
+                        ctx,
                     });
                 }
             }
@@ -452,9 +498,15 @@ mod tests {
             PhysBuffer::new(PhysAddr(0x8000), 3000),
             PhysBuffer::new(PhysAddr(0x10000), 1096),
         ];
-        let out = r
-            .drv
-            .send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(9), &bufs, None);
+        let out = r.drv.send_pdu(
+            SimTime::ZERO,
+            &mut r.host,
+            &mut r.tx,
+            Vci(9),
+            &bufs,
+            None,
+            None,
+        );
         assert!(!out.blocked);
         assert_eq!(r.tx.queue(0).len(), 2);
         let descs: Vec<_> = r.tx.queue(0).iter_live().copied().collect();
@@ -480,7 +532,7 @@ mod tests {
         for _ in 0..70 {
             let out = r
                 .drv
-                .send_pdu(t, &mut r.host, &mut r.tx, Vci(1), &buf, None);
+                .send_pdu(t, &mut r.host, &mut r.tx, Vci(1), &buf, None, None);
             t = out.queued_at;
             if out.blocked {
                 blocked = true;
@@ -504,6 +556,7 @@ mod tests {
             Vci(1),
             &bufs,
             Some((&mut asp, region.base, region.len)),
+            None,
         );
         // Second send of the same (already wired) region starts from o1 time.
         let o2 = r.drv.send_pdu(
@@ -513,6 +566,7 @@ mod tests {
             Vci(1),
             &bufs,
             Some((&mut asp, region.base, region.len)),
+            None,
         );
         let d1 = o1.queued_at.since(SimTime::ZERO);
         let d2 = o2.queued_at.since(o1.queued_at);
@@ -530,9 +584,15 @@ mod tests {
         let msg: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
         r.host.phys.write(PhysAddr(0x10_0000), &msg);
         let bufs = [PhysBuffer::new(PhysAddr(0x10_0000), 5000)];
-        let out = r
-            .drv
-            .send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(7), &bufs, None);
+        let out = r.drv.send_pdu(
+            SimTime::ZERO,
+            &mut r.host,
+            &mut r.tx,
+            Vci(7),
+            &bufs,
+            None,
+            None,
+        );
         let txo =
             r.tx.service(
                 out.queued_at,
@@ -584,9 +644,15 @@ mod tests {
             let msg = vec![1u8; 16 * 1024 - 100];
             r.host.phys.write(PhysAddr(0x10_0000), &msg);
             let bufs = [PhysBuffer::new(PhysAddr(0x10_0000), msg.len() as u32)];
-            let out = r
-                .drv
-                .send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(1), &bufs, None);
+            let out = r.drv.send_pdu(
+                SimTime::ZERO,
+                &mut r.host,
+                &mut r.tx,
+                Vci(1),
+                &bufs,
+                None,
+                None,
+            );
             let txo =
                 r.tx.service(
                     out.queued_at,
@@ -626,9 +692,15 @@ mod tests {
         let msg = vec![5u8; 2000];
         r.host.phys.write(PhysAddr(0x10_0000), &msg);
         let bufs = [PhysBuffer::new(PhysAddr(0x10_0000), 2000)];
-        let out = r
-            .drv
-            .send_pdu(SimTime::ZERO, &mut r.host, &mut r.tx, Vci(1), &bufs, None);
+        let out = r.drv.send_pdu(
+            SimTime::ZERO,
+            &mut r.host,
+            &mut r.tx,
+            Vci(1),
+            &bufs,
+            None,
+            None,
+        );
         let txo =
             r.tx.service(
                 out.queued_at,

@@ -19,7 +19,7 @@ use osiris_host::driver::DeliveredPdu;
 use osiris_host::machine::{internet_checksum, HostMachine};
 use osiris_mem::{AddressSpace, MapError, PhysAddr, PhysBuffer, VirtAddr};
 use osiris_sim::obs::{Counter, Probe};
-use osiris_sim::SimTime;
+use osiris_sim::{SimTime, Timeline, TraceCtx};
 
 use crate::frag::fragment_layout;
 use crate::msg::Message;
@@ -51,6 +51,10 @@ impl ProtoConfig {
 pub struct TxPacket {
     /// Header + data segments, in order.
     pub msg: Message<VirtAddr>,
+    /// Causal identity of the datagram this packet fragments — every
+    /// fragment of one `output` call shares it, and it matches the IP
+    /// reassembly key `(src, id)` the receiver re-mints.
+    pub ctx: TraceCtx,
 }
 
 /// The outcome of feeding one received PDU into the stack.
@@ -63,6 +67,9 @@ pub enum RxVerdict {
         /// Source host (the IP header's model-level address), so the
         /// application can tell senders apart on a fan-in path.
         src: u16,
+        /// Causal identity of the datagram (the sender's `TxPacket::ctx`,
+        /// re-minted from the IP header when the carrier lost it).
+        ctx: TraceCtx,
         /// Destination (local) port.
         dst_port: u16,
         /// The data, in receive buffers (headers stripped).
@@ -123,6 +130,17 @@ pub struct ProtoStack {
     /// senders' datagrams may carry the same id concurrently.
     reasm: HashMap<(u16, u32), IpReassembly>,
     stats: StackCounters,
+    timeline: Timeline,
+    /// Timeline track for this stack's CPU spans (`<scope>.stack`).
+    track: String,
+    /// Protocol CPU is one resource: successive per-PDU spans on this
+    /// track are clamped so they never overlap even when a call's nominal
+    /// start predates the previous call's finish.
+    tx_span_floor: SimTime,
+    rx_span_floor: SimTime,
+    /// Causal identity of the PDU currently in `input` (the carrier's, or
+    /// re-minted from the parsed IP header).
+    cur_rx_ctx: Option<TraceCtx>,
 }
 
 /// The stack's registry-visible counters (scope `<probe>.stack`).
@@ -181,7 +199,18 @@ impl ProtoStack {
             src_host: 0,
             reasm: HashMap::new(),
             stats: StackCounters::with_probe(probe),
+            timeline: Timeline::default(),
+            track: probe.scoped("stack").scope().to_string(),
+            tx_span_floor: SimTime::ZERO,
+            rx_span_floor: SimTime::ZERO,
+            cur_rx_ctx: None,
         }
+    }
+
+    /// Attaches the timeline this stack records its per-PDU protocol
+    /// spans on (disabled/detached by default).
+    pub fn set_timeline(&mut self, timeline: &Timeline) {
+        self.timeline = timeline.clone();
     }
 
     /// Sets the source-host address stamped into outgoing IP headers.
@@ -251,6 +280,12 @@ impl ProtoStack {
         // ── IP ─────────────────────────────────────────────────────────
         let id = self.ip_id;
         self.ip_id += 1;
+        // Mint the causal identity here: it equals the receiver's IP
+        // reassembly key, so both ends agree without extra wire bytes.
+        let ctx = TraceCtx {
+            host: self.src_host,
+            pdu: id,
+        };
         let total = datagram.len();
         let plan = fragment_layout(total, self.cfg.mtu);
         let mut packets = Vec::with_capacity(plan.count());
@@ -272,9 +307,17 @@ impl ProtoStack {
             t = host.cpu_write(t, ip_pa, &hdr.encode()).finish;
             t = host.run_software(t, host.spec.costs.ip_fixed).finish;
             frag.push_header(ip_va, IP_HEADER_BYTES as u32);
-            packets.push(TxPacket { msg: frag });
+            packets.push(TxPacket { msg: frag, ctx });
             offset += size as u64;
             self.stats.frags_out.incr();
+        }
+        if self.timeline.is_enabled() {
+            let from = now.max(self.tx_span_floor);
+            if t > from {
+                self.timeline
+                    .span_ctx(&self.track, "proto.tx", ctx, from, t);
+            }
+            self.tx_span_floor = self.tx_span_floor.max(t);
         }
         Ok((packets, t))
     }
@@ -290,6 +333,27 @@ impl ProtoStack {
 
     /// IP + UDP input: absorbs one PDU from the driver.
     pub fn input(
+        &mut self,
+        now: SimTime,
+        host: &mut HostMachine,
+        pdu: &DeliveredPdu,
+    ) -> (RxVerdict, SimTime) {
+        self.cur_rx_ctx = pdu.ctx;
+        let (verdict, t) = self.input_parse(now, host, pdu);
+        if self.timeline.is_enabled() {
+            if let Some(ctx) = self.cur_rx_ctx {
+                let from = now.max(self.rx_span_floor);
+                if t > from {
+                    self.timeline
+                        .span_ctx(&self.track, "proto.rx", ctx, from, t);
+                }
+            }
+            self.rx_span_floor = self.rx_span_floor.max(t);
+        }
+        (verdict, t)
+    }
+
+    fn input_parse(
         &mut self,
         now: SimTime,
         host: &mut HostMachine,
@@ -341,6 +405,14 @@ impl ProtoStack {
     ) -> (RxVerdict, SimTime) {
         let mut t = now;
         self.stats.frags_in.incr();
+        // Re-mint the identity from the header if the carrier lost it
+        // (raw wire-image PDUs, generator traffic): same (src, id) key.
+        if self.cur_rx_ctx.is_none() {
+            self.cur_rx_ctx = Some(TraceCtx {
+                host: ip.src,
+                pdu: ip.id,
+            });
+        }
 
         // Strip the IP header from the buffer chain.
         let mut data = Message::<PhysAddr>::empty();
@@ -449,6 +521,10 @@ impl ProtoStack {
         (
             RxVerdict::Deliver {
                 src: ip.src,
+                ctx: self.cur_rx_ctx.unwrap_or(TraceCtx {
+                    host: ip.src,
+                    pdu: ip.id,
+                }),
                 dst_port: udp.dst_port,
                 data: datagram,
                 descs: all_descs,
@@ -664,6 +740,7 @@ mod tests {
                 )],
                 len: p.len() as u32,
                 ready_at: t,
+                ctx: None,
             };
             let (v, t2) = stack.input(t, host, &pdu);
             t = t2;
@@ -750,6 +827,7 @@ mod tests {
             )],
             len: pdu_bytes.len() as u32,
             ready_at: SimTime::ZERO,
+            ctx: None,
         };
         let (v, _) = stack.input(SimTime::from_us(100), &mut host, &pdu);
         match v {

@@ -41,6 +41,7 @@ fn deliver(
         bufs: vec![Descriptor::tx(addr, pdu_bytes.len() as u32, Vci(9), true)],
         len: pdu_bytes.len() as u32,
         ready_at: t,
+        ctx: None,
     };
     stack.input(t, host, &pdu).0
 }

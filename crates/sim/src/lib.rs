@@ -33,7 +33,10 @@ pub mod trace;
 
 pub use event::EventQueue;
 pub use json::Json;
-pub use obs::{Probe, Registry, Snapshot, Timeline};
+pub use obs::{
+    CriticalPath, HistSummary, PduPath, Probe, Registry, Snapshot, Stage, Timeline, TimelineEvent,
+    TraceCtx,
+};
 pub use resource::FifoResource;
 pub use rng::SimRng;
 pub use time::{Clock, SimDuration, SimTime};

@@ -1,5 +1,5 @@
-//! Observability: probes, a hierarchical metric registry, and a typed
-//! timeline of simulated-time spans.
+//! Observability: probes, a hierarchical metric registry, a typed
+//! timeline of simulated-time spans, and per-PDU critical-path analysis.
 //!
 //! The paper's conclusions all rest on counting things — interrupts per
 //! PDU (§2.1.2), cache words invalidated (§2.3), DMA transactions and
@@ -16,7 +16,17 @@
 //!   an `Rc<Cell<u64>>` bump, no lookup on the hot path.
 //! * [`Timeline`] — typed spans/instants in simulated picosecond time,
 //!   exportable as Chrome trace-event JSON for `chrome://tracing` /
-//!   Perfetto.
+//!   Perfetto. A timeline is a cheap-clone shared handle, so every
+//!   layer of a node (stack, driver, board halves) can hold one and
+//!   open its own spans without signature ripple.
+//! * [`TraceCtx`] — the causal identity of one PDU (source host +
+//!   PDU id), minted at send time and carried through fragmentation,
+//!   descriptors, cells, the fabric, reassembly, and delivery. Spans
+//!   keyed by a ctx form the PDU's whole-path trace.
+//! * [`CriticalPath`] — turns one ctx's span set into a latency
+//!   anatomy: every picosecond between first span start and last span
+//!   end is attributed to exactly one [`Stage`], so the stages sum to
+//!   the observed end-to-end time by construction.
 //! * [`Snapshot`] — a deterministic (BTreeMap-ordered) read-out of the
 //!   whole registry, the unit the report layer and the bench binaries
 //!   consume.
@@ -89,9 +99,36 @@ impl Gauge {
     }
 }
 
-/// A time-weighted histogram: tracks a piecewise-constant signal over
-/// simulated time (queue length, outstanding DMA transactions) and
-/// reports its time-weighted mean plus extrema.
+/// Number of log-spaced histogram buckets (√2 growth per bucket, same
+/// spacing as `stats::DurationHistogram`): bucket `i` holds values in
+/// `(2^((i-1-OFFSET)/2), 2^((i-OFFSET)/2)]`, spanning ~2e-8 .. ~1e7.
+const HIST_BUCKETS: usize = 96;
+/// Bucket index of value 1.0 (so sub-unit values keep resolution).
+const HIST_OFFSET: i64 = 48;
+
+fn bucket_of(v: f64) -> usize {
+    if v <= 0.0 || !v.is_finite() {
+        return 0;
+    }
+    let idx = (2.0 * v.log2()).ceil() as i64 + HIST_OFFSET;
+    idx.clamp(0, HIST_BUCKETS as i64 - 1) as usize
+}
+
+fn bucket_upper(idx: usize) -> f64 {
+    2f64.powf((idx as i64 - HIST_OFFSET) as f64 / 2.0)
+}
+
+/// A histogram with two feeding modes and log-spaced buckets:
+///
+/// * [`Histogram::record`] tracks a piecewise-constant signal over
+///   simulated time (queue length, outstanding DMA transactions) and
+///   reports its time-weighted mean plus extrema.
+/// * [`Histogram::observe`] adds one plain (non-time-weighted) sample —
+///   the mode for duration distributions such as per-stage latencies.
+///
+/// Both modes feed 96 log-spaced buckets (√2 growth), from which
+/// [`HistSummary`] estimates p50/p95/p99 as the matching bucket's upper
+/// bound clamped to the observed min/max.
 #[derive(Debug, Clone, Default)]
 pub struct Histogram(Rc<RefCell<HistInner>>);
 
@@ -103,9 +140,37 @@ struct HistInner {
     /// ∫ value dt, in value·picoseconds.
     weighted_sum: f64,
     total_ps: u128,
+    /// Σ value over samples (plain mean for `observe`-fed histograms).
+    plain_sum: f64,
     min: f64,
     max: f64,
     samples: u64,
+    /// Log-spaced sample-count buckets; allocated on first feed.
+    buckets: Vec<u64>,
+}
+
+impl HistInner {
+    fn feed_bucket(&mut self, value: f64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HIST_BUCKETS];
+        }
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let target = ((p * self.samples as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_upper(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
 }
 
 impl Histogram {
@@ -126,6 +191,25 @@ impl Histogram {
         h.last_value = value;
         h.last_at = now;
         h.samples += 1;
+        h.plain_sum += value;
+        h.feed_bucket(value);
+    }
+
+    /// Adds one plain sample (no time weighting) — for distributions of
+    /// durations or sizes rather than signals held over time.
+    pub fn observe(&self, value: f64) {
+        let mut h = self.0.borrow_mut();
+        if h.started {
+            h.min = h.min.min(value);
+            h.max = h.max.max(value);
+        } else {
+            h.started = true;
+            h.min = value;
+            h.max = value;
+        }
+        h.samples += 1;
+        h.plain_sum += value;
+        h.feed_bucket(value);
     }
 
     /// Summary of everything recorded so far.
@@ -133,8 +217,8 @@ impl Histogram {
         let h = self.0.borrow();
         let mean = if h.total_ps > 0 {
             h.weighted_sum / h.total_ps as f64
-        } else if h.started {
-            h.last_value
+        } else if h.samples > 0 {
+            h.plain_sum / h.samples as f64
         } else {
             0.0
         };
@@ -143,6 +227,9 @@ impl Histogram {
             min: if h.started { h.min } else { 0.0 },
             max: if h.started { h.max } else { 0.0 },
             samples: h.samples,
+            p50: h.percentile(0.50),
+            p95: h.percentile(0.95),
+            p99: h.percentile(0.99),
         }
     }
 }
@@ -150,14 +237,22 @@ impl Histogram {
 /// Read-out of a [`Histogram`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistSummary {
-    /// Mean of the signal weighted by how long each value was held.
+    /// Mean of the signal weighted by how long each value was held
+    /// (`record` mode), or the plain mean (`observe` mode).
     pub time_weighted_mean: f64,
     /// Smallest recorded value.
     pub min: f64,
     /// Largest recorded value.
     pub max: f64,
-    /// Number of `record` calls.
+    /// Number of `record`/`observe` calls.
     pub samples: u64,
+    /// Median, estimated from the log-spaced buckets (upper bound of the
+    /// bucket holding the median sample, clamped to `[min, max]`).
+    pub p50: f64,
+    /// 95th percentile, same estimation.
+    pub p95: f64,
+    /// 99th percentile, same estimation.
+    pub p99: f64,
 }
 
 #[derive(Debug, Default)]
@@ -368,13 +463,36 @@ impl Snapshot {
                     .with("time_weighted_mean", h.time_weighted_mean)
                     .with("min", h.min)
                     .with("max", h.max)
-                    .with("samples", h.samples),
+                    .with("samples", h.samples)
+                    .with("p50", h.p50)
+                    .with("p95", h.p95)
+                    .with("p99", h.p99),
             )
         });
         Json::obj()
             .with("counters", counters)
             .with("gauges", gauges)
             .with("histograms", hists)
+    }
+}
+
+/// The causal identity of one PDU: the sending host's model-level
+/// address and a per-sender PDU number. For the UDP/IP path this is
+/// exactly the IP header's `(src, id)` pair, so the receive side can
+/// re-mint the same ctx from the wire header; raw-ATM senders mint from
+/// a per-node sequence. The ctx rides on descriptors and cells as
+/// simulation-side metadata (no bytes on the modelled wire change).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceCtx {
+    /// Model-level address of the sending host (IP `src`).
+    pub host: u16,
+    /// Per-sender PDU number (IP `id` for UDP/IP).
+    pub pdu: u32,
+}
+
+impl std::fmt::Display for TraceCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}:p{}", self.host, self.pdu)
     }
 }
 
@@ -389,119 +507,209 @@ pub struct TimelineEvent {
     pub at: SimTime,
     /// Span length; `None` marks an instant event.
     pub dur: Option<SimDuration>,
+    /// The PDU this event belongs to, when the layer knows it.
+    pub ctx: Option<TraceCtx>,
 }
 
-/// Typed spans and instants in simulated time, bounded like the trace
-/// ring: when full, the **oldest** events are evicted and counted in a
-/// registry-visible `dropped` counter so truncation is never silent.
-#[derive(Debug)]
-pub struct Timeline {
+impl TimelineEvent {
+    /// Span end time (equals `at` for instants).
+    pub fn end(&self) -> SimTime {
+        match self.dur {
+            Some(d) => self.at + d,
+            None => self.at,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TimelineInner {
     enabled: bool,
     capacity: usize,
     events: std::collections::VecDeque<TimelineEvent>,
     dropped: Counter,
 }
 
+/// Typed spans and instants in simulated time, bounded like the trace
+/// ring: when full, the **oldest** events are evicted and counted in a
+/// registry-visible `dropped` counter so truncation is never silent.
+///
+/// A `Timeline` is a cheap-clone shared handle (like [`Counter`]): the
+/// testbed creates one and hands clones to the stack, driver, and board
+/// halves, which each open spans on their own tracks. A
+/// default-constructed timeline is detached (capacity 0, disabled) so
+/// components built standalone pay nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    inner: Rc<RefCell<TimelineInner>>,
+}
+
 impl Timeline {
     /// A disabled timeline with the given capacity and a detached
     /// dropped-events counter.
     pub fn new(capacity: usize) -> Timeline {
-        Timeline {
-            enabled: false,
-            capacity,
-            events: std::collections::VecDeque::new(),
-            dropped: Counter::detached(),
-        }
+        let tl = Timeline::default();
+        tl.inner.borrow_mut().capacity = capacity;
+        tl
     }
 
     /// A timeline whose `dropped` counter is registered on `probe` as
     /// `<scope>.timeline.dropped`.
     pub fn with_probe(capacity: usize, probe: &Probe) -> Timeline {
-        let mut t = Timeline::new(capacity);
-        t.dropped = probe.scoped("timeline").counter("dropped");
+        let t = Timeline::new(capacity);
+        t.inner.borrow_mut().dropped = probe.scoped("timeline").counter("dropped");
         t
     }
 
     /// Turns recording on or off.
-    pub fn set_enabled(&mut self, on: bool) {
-        self.enabled = on;
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.borrow_mut().enabled = on;
     }
 
     /// Whether events are currently recorded.
     pub fn is_enabled(&self) -> bool {
-        self.enabled
+        self.inner.borrow().enabled
     }
 
     /// Records a span on `track` from `start` to `end`.
-    pub fn span(&mut self, track: &str, name: impl Into<String>, start: SimTime, end: SimTime) {
+    pub fn span(&self, track: &str, name: impl Into<String>, start: SimTime, end: SimTime) {
         self.push(TimelineEvent {
             track: track.to_string(),
             name: name.into(),
             at: start,
             dur: Some(end.saturating_since(start)),
+            ctx: None,
+        });
+    }
+
+    /// Records a span belonging to PDU `ctx`.
+    pub fn span_ctx(
+        &self,
+        track: &str,
+        name: impl Into<String>,
+        ctx: TraceCtx,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.push(TimelineEvent {
+            track: track.to_string(),
+            name: name.into(),
+            at: start,
+            dur: Some(end.saturating_since(start)),
+            ctx: Some(ctx),
         });
     }
 
     /// Records an instant on `track` at `at`.
-    pub fn instant(&mut self, track: &str, name: impl Into<String>, at: SimTime) {
+    pub fn instant(&self, track: &str, name: impl Into<String>, at: SimTime) {
         self.push(TimelineEvent {
             track: track.to_string(),
             name: name.into(),
             at,
             dur: None,
+            ctx: None,
         });
     }
 
-    fn push(&mut self, ev: TimelineEvent) {
-        if !self.enabled {
+    /// Records an instant belonging to PDU `ctx`.
+    pub fn instant_ctx(&self, track: &str, name: impl Into<String>, ctx: TraceCtx, at: SimTime) {
+        self.push(TimelineEvent {
+            track: track.to_string(),
+            name: name.into(),
+            at,
+            dur: None,
+            ctx: Some(ctx),
+        });
+    }
+
+    fn push(&self, ev: TimelineEvent) {
+        let mut t = self.inner.borrow_mut();
+        if !t.enabled {
             return;
         }
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
-            self.dropped.incr();
+        if t.events.len() >= t.capacity {
+            t.events.pop_front();
+            t.dropped.incr();
         }
-        self.events.push_back(ev);
+        t.events.push_back(ev);
     }
 
     /// Recorded events, oldest first.
-    pub fn events(&self) -> impl Iterator<Item = &TimelineEvent> {
-        self.events.iter()
+    pub fn events(&self) -> Vec<TimelineEvent> {
+        self.inner.borrow().events.iter().cloned().collect()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every event belonging to `ctx`, oldest first.
+    pub fn events_for(&self, ctx: TraceCtx) -> Vec<TimelineEvent> {
+        self.inner
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| e.ctx == Some(ctx))
+            .cloned()
+            .collect()
+    }
+
+    /// The distinct PDU contexts seen, in first-appearance order.
+    pub fn ctxs(&self) -> Vec<TraceCtx> {
+        let inner = self.inner.borrow();
+        let mut out = Vec::new();
+        for e in &inner.events {
+            if let Some(c) = e.ctx {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+        out
     }
 
     /// Events evicted because the timeline was full.
     pub fn dropped(&self) -> u64 {
-        self.dropped.get()
+        self.inner.borrow().dropped.get()
     }
 
     /// Clears recorded events (keeps the enabled flag and capacity).
-    pub fn clear(&mut self) {
-        self.events.clear();
+    pub fn clear(&self) {
+        self.inner.borrow_mut().events.clear();
     }
 
     /// All spans on `track` whose name equals `name`, oldest first.
-    pub fn spans_named<'a>(
-        &'a self,
-        track: &'a str,
-        name: &'a str,
-    ) -> impl Iterator<Item = &'a TimelineEvent> + 'a {
-        self.events
+    pub fn spans_named(&self, track: &str, name: &str) -> Vec<TimelineEvent> {
+        self.inner
+            .borrow()
+            .events
             .iter()
-            .filter(move |e| e.track == track && e.name == name)
+            .filter(|e| e.track == track && e.name == name)
+            .cloned()
+            .collect()
     }
 
     /// Exports the Chrome trace-event JSON document (the format
     /// `chrome://tracing` and Perfetto load): complete (`"X"`) events
     /// for spans, instant (`"i"`) events for instants, one trace "thread"
-    /// per track, timestamps in microseconds of simulated time.
+    /// per track, timestamps in microseconds of simulated time. Events
+    /// with a [`TraceCtx`] carry it under `args.ctx` so a PDU can be
+    /// followed across tracks in the viewer.
     pub fn to_chrome_json(&self) -> Json {
+        let inner = self.inner.borrow();
         let mut tracks: Vec<&str> = Vec::new();
-        for ev in &self.events {
+        for ev in &inner.events {
             if !tracks.contains(&ev.track.as_str()) {
                 tracks.push(&ev.track);
             }
         }
         let mut events = Vec::new();
-        for ev in &self.events {
+        for ev in &inner.events {
             let tid = tracks.iter().position(|t| *t == ev.track).unwrap() as i64;
             let mut obj = Json::obj()
                 .with("name", ev.name.as_str())
@@ -513,6 +721,9 @@ impl Timeline {
             match ev.dur {
                 Some(d) => obj = obj.with("dur", d.as_us_f64()),
                 None => obj = obj.with("s", "t"),
+            }
+            if let Some(c) = ev.ctx {
+                obj = obj.with("args", Json::obj().with("ctx", c.to_string().as_str()));
             }
             events.push(obj);
         }
@@ -530,6 +741,343 @@ impl Timeline {
         Json::obj()
             .with("traceEvents", Json::Arr(events))
             .with("displayTimeUnit", "ms")
+    }
+}
+
+/// The latency-anatomy stages a PDU's wall time is attributed to —
+/// the paper's §4 decomposition, as machine-checkable categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Host CPU running protocol/driver/app code (send, UDP/IP in and
+    /// out, drain, delivery).
+    ProtocolCpu,
+    /// Waiting for the memory bus before a DMA transfer could start.
+    BusWait,
+    /// DMA data actually moving over the bus (tx fetch / rx store).
+    DmaTransfer,
+    /// Adaptor firmware (i80960) segmentation/launch work.
+    AdaptorFw,
+    /// Cells serialising onto and propagating over the striped lanes.
+    Wire,
+    /// Queueing inside the switch fabric.
+    SwitchQueue,
+    /// Reassembly window on the receive board not covered by DMA or
+    /// firmware work (waiting for the PDU's remaining cells).
+    ReassemblyWait,
+    /// Descriptor pushed, host not yet draining: interrupt-suppression
+    /// delay plus handler/dispatch.
+    InterruptDelay,
+    /// Anything the span names don't classify.
+    Other,
+}
+
+impl Stage {
+    /// Every stage, in the order tables render them.
+    pub const ALL: [Stage; 9] = [
+        Stage::ProtocolCpu,
+        Stage::BusWait,
+        Stage::DmaTransfer,
+        Stage::AdaptorFw,
+        Stage::Wire,
+        Stage::SwitchQueue,
+        Stage::ReassemblyWait,
+        Stage::InterruptDelay,
+        Stage::Other,
+    ];
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::ProtocolCpu => "protocol CPU",
+            Stage::BusWait => "bus wait",
+            Stage::DmaTransfer => "DMA transfer",
+            Stage::AdaptorFw => "adaptor firmware",
+            Stage::Wire => "wire",
+            Stage::SwitchQueue => "switch queueing",
+            Stage::ReassemblyWait => "reassembly wait",
+            Stage::InterruptDelay => "interrupt delay",
+            Stage::Other => "other",
+        }
+    }
+
+    /// Classifies a span by its name. The span-naming convention is the
+    /// contract between the instrumented layers and this analyzer:
+    /// `app.*`/`proto.*`/`driver.*`/`drain*` are host CPU, `bus.wait`
+    /// is bus arbitration, `dma.*` is data on the bus, `fw.*` is
+    /// firmware, `lane*` is the wire, `switch*` the fabric, `sar*` the
+    /// reassembly window, and `intr.wait` the interrupt delay.
+    pub fn of_span(name: &str) -> Stage {
+        if name.starts_with("bus.wait") {
+            Stage::BusWait
+        } else if name.starts_with("dma.") {
+            Stage::DmaTransfer
+        } else if name.starts_with("fw.") {
+            Stage::AdaptorFw
+        } else if name.starts_with("lane") {
+            Stage::Wire
+        } else if name.starts_with("switch") {
+            Stage::SwitchQueue
+        } else if name.starts_with("sar") {
+            Stage::ReassemblyWait
+        } else if name.starts_with("intr.wait") {
+            Stage::InterruptDelay
+        } else if name.starts_with("app.")
+            || name.starts_with("proto.")
+            || name.starts_with("driver.")
+            || name.starts_with("drain")
+            || name.starts_with("intr")
+        {
+            Stage::ProtocolCpu
+        } else {
+            Stage::Other
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One PDU's analyzed whole-path trace: its spans, the end-to-end
+/// window, and wall time attributed per [`Stage`] such that the stages
+/// sum exactly to `end - start`.
+#[derive(Debug, Clone)]
+pub struct PduPath {
+    /// The PDU.
+    pub ctx: TraceCtx,
+    /// Earliest span start.
+    pub start: SimTime,
+    /// Latest span end.
+    pub end: SimTime,
+    /// Wall time per stage, in [`Stage::ALL`] order (zeros included).
+    pub stages: Vec<(Stage, SimDuration)>,
+    /// The PDU's spans, sorted by start time (ties: longer first).
+    pub spans: Vec<TimelineEvent>,
+}
+
+impl PduPath {
+    /// End-to-end latency (`end - start`).
+    pub fn total(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+
+    /// Wall time attributed to one stage.
+    pub fn stage(&self, s: Stage) -> SimDuration {
+        self.stages
+            .iter()
+            .find(|(st, _)| *st == s)
+            .map(|&(_, d)| d)
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Sum of all stage attributions (equals [`PduPath::total`] by
+    /// construction; asserted by the analyzer).
+    pub fn stage_sum(&self) -> SimDuration {
+        SimDuration::from_ps(self.stages.iter().map(|&(_, d)| d.as_ps()).sum())
+    }
+
+    /// The span tree as indented text: nesting by time containment,
+    /// one line per span with track, window, and duration.
+    pub fn render_tree(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "PDU {} | {:.1} us end-to-end ({:.1}..{:.1} us)",
+            self.ctx,
+            self.total().as_us_f64(),
+            self.start.as_us_f64(),
+            self.end.as_us_f64()
+        );
+        let mut stack: Vec<SimTime> = Vec::new();
+        for s in &self.spans {
+            // Nest only under spans that strictly contain this one;
+            // partially-overlapping pipeline neighbours are siblings.
+            while let Some(&top) = stack.last() {
+                if s.at >= top || s.end() > top {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{}{} [{}] {:.1}..{:.1} us ({:.2} us)",
+                "  ".repeat(stack.len() + 1),
+                s.name,
+                s.track,
+                s.at.as_us_f64(),
+                s.end().as_us_f64(),
+                s.dur.unwrap_or(SimDuration::ZERO).as_us_f64()
+            );
+            stack.push(s.end());
+        }
+        out
+    }
+
+    /// The per-stage attribution as an aligned table (µs and share),
+    /// with the sum-check line the acceptance criteria ask for.
+    pub fn render_stage_table(&self) -> String {
+        use std::fmt::Write as _;
+        let total = self.total().as_us_f64().max(f64::MIN_POSITIVE);
+        let mut out = String::new();
+        for &(stage, d) in &self.stages {
+            if d == SimDuration::ZERO {
+                continue;
+            }
+            let us = d.as_us_f64();
+            let _ = writeln!(
+                out,
+                "  {:<18} {:>8.2} us  {:>5.1} %",
+                stage.label(),
+                us,
+                100.0 * us / total
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>8.2} us  (= end-to-end: {})",
+            "total",
+            self.stage_sum().as_us_f64(),
+            if self.stage_sum() == self.total() {
+                "exact"
+            } else {
+                "MISMATCH"
+            }
+        );
+        out
+    }
+}
+
+/// Attributes every picosecond of a PDU's end-to-end window to one
+/// [`Stage`] by sweeping the PDU's span set:
+///
+/// * Segment boundaries are the sorted, deduplicated span start/end
+///   times, so every segment has a fixed set of covering spans.
+/// * A covered segment belongs to its **innermost** active span (the
+///   latest-starting; ties broken by earliest end) — a `dma.rx` span
+///   inside the reassembly window wins its segment, and the residue of
+///   the window is genuine reassembly wait.
+/// * An uncovered segment (a gap) belongs to the next span to start,
+///   i.e. the resource the PDU was waiting on; a gap's right edge is
+///   always some span's start, so the attribution is total.
+///
+/// Stages therefore tile `[start, end]` exactly: their sum equals the
+/// observed end-to-end latency by construction (and is asserted).
+#[derive(Debug)]
+pub struct CriticalPath;
+
+impl CriticalPath {
+    /// Analyzes one PDU. `None` when the timeline holds no spans for it.
+    pub fn analyze(timeline: &Timeline, ctx: TraceCtx) -> Option<PduPath> {
+        let mut spans: Vec<TimelineEvent> = timeline
+            .events_for(ctx)
+            .into_iter()
+            .filter(|e| e.dur.is_some())
+            .collect();
+        if spans.is_empty() {
+            return None;
+        }
+        spans.sort_by_key(|s| (s.at, std::cmp::Reverse(s.end())));
+        let start = spans.iter().map(|s| s.at).min().expect("non-empty");
+        let end = spans.iter().map(|s| s.end()).max().expect("non-empty");
+
+        let mut bounds: Vec<SimTime> = Vec::with_capacity(spans.len() * 2);
+        for s in &spans {
+            bounds.push(s.at);
+            bounds.push(s.end());
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut acc: BTreeMap<Stage, u64> = BTreeMap::new();
+        for w in bounds.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let seg = b.saturating_since(a).as_ps();
+            if seg == 0 {
+                continue;
+            }
+            // Innermost active span: latest start, then earliest end.
+            let owner = spans
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.at <= a && s.end() >= b)
+                .max_by_key(|(i, s)| (s.at, std::cmp::Reverse(s.end()), *i))
+                .map(|(_, s)| s);
+            let stage = match owner {
+                Some(s) => Stage::of_span(&s.name),
+                // Gap: attribute to the next span to start (what the PDU
+                // was waiting for). `b` is always a span start here.
+                None => spans
+                    .iter()
+                    .filter(|s| s.at == b)
+                    .min_by_key(|s| s.end())
+                    .map(|s| Stage::of_span(&s.name))
+                    .unwrap_or(Stage::Other),
+            };
+            *acc.entry(stage).or_insert(0) += seg;
+        }
+
+        let stages: Vec<(Stage, SimDuration)> = Stage::ALL
+            .iter()
+            .map(|&s| (s, SimDuration::from_ps(acc.get(&s).copied().unwrap_or(0))))
+            .collect();
+        let path = PduPath {
+            ctx,
+            start,
+            end,
+            stages,
+            spans,
+        };
+        debug_assert_eq!(
+            path.stage_sum(),
+            path.total(),
+            "stage attribution must tile the end-to-end window for {ctx}"
+        );
+        Some(path)
+    }
+
+    /// Analyzes every PDU the timeline has spans for, in
+    /// first-appearance order.
+    pub fn analyze_all(timeline: &Timeline) -> Vec<PduPath> {
+        timeline
+            .ctxs()
+            .into_iter()
+            .filter_map(|c| Self::analyze(timeline, c))
+            .collect()
+    }
+
+    /// Per-stage latency distributions over a set of analyzed PDUs, as
+    /// `(stage, summary-in-µs)` rows in [`Stage::ALL`] order. Stages
+    /// with zero time across every PDU are omitted.
+    pub fn stage_percentiles(paths: &[PduPath]) -> Vec<(Stage, HistSummary)> {
+        let mut out = Vec::new();
+        for &stage in &Stage::ALL {
+            let h = Histogram::default();
+            let mut any = false;
+            for p in paths {
+                let us = p.stage(stage).as_us_f64();
+                if us > 0.0 {
+                    any = true;
+                }
+                h.observe(us);
+            }
+            if any {
+                out.push((stage, h.summary()));
+            }
+        }
+        out
+    }
+
+    /// End-to-end latency distribution (µs) over a set of analyzed PDUs.
+    pub fn e2e_summary(paths: &[PduPath]) -> HistSummary {
+        let h = Histogram::default();
+        for p in paths {
+            h.observe(p.total().as_us_f64());
+        }
+        h.summary()
     }
 }
 
@@ -605,6 +1153,36 @@ mod tests {
     }
 
     #[test]
+    fn observe_percentiles_estimate_from_buckets() {
+        let h = Histogram::default();
+        for i in 1..=100u32 {
+            h.observe(i as f64);
+        }
+        let s = h.summary();
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        // √2-spaced buckets: estimates land within one bucket (≤ √2×)
+        // of the true percentile, and never outside [min, max].
+        assert!(s.p50 >= 50.0 && s.p50 <= 50.0 * 1.5, "p50 {}", s.p50);
+        assert!(s.p95 >= 95.0 && s.p95 <= 100.0, "p95 {}", s.p95);
+        assert!(s.p99 >= 99.0 && s.p99 <= 100.0, "p99 {}", s.p99);
+        assert!((s.time_weighted_mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_of_constant_distribution_are_exact() {
+        let h = Histogram::default();
+        for _ in 0..10 {
+            h.observe(42.0);
+        }
+        let s = h.summary();
+        assert_eq!(s.p50, 42.0);
+        assert_eq!(s.p95, 42.0);
+        assert_eq!(s.p99, 42.0);
+    }
+
+    #[test]
     fn snapshot_to_json_round_trips() {
         let reg = Registry::new();
         reg.counter("a.b").add(42);
@@ -620,11 +1198,13 @@ mod tests {
             doc.get("gauges").unwrap().get("g").unwrap().as_f64(),
             Some(1.5)
         );
+        let h = doc.get("histograms").unwrap().get("h").unwrap();
+        assert_eq!(h.get("p50").unwrap().as_f64(), Some(2.0));
     }
 
     #[test]
     fn timeline_records_spans_and_exports_chrome_json() {
-        let mut tl = Timeline::new(16);
+        let tl = Timeline::new(16);
         tl.set_enabled(true);
         tl.span(
             "host0.cpu",
@@ -647,22 +1227,149 @@ mod tests {
 
     #[test]
     fn timeline_disabled_records_nothing() {
-        let mut tl = Timeline::new(4);
+        let tl = Timeline::new(4);
         tl.instant("t", "x", SimTime::ZERO);
-        assert_eq!(tl.events().count(), 0);
+        assert_eq!(tl.events().len(), 0);
     }
 
     #[test]
     fn timeline_eviction_feeds_registry_counter() {
         let reg = Registry::new();
         let probe = reg.probe("sim");
-        let mut tl = Timeline::with_probe(2, &probe);
+        let tl = Timeline::with_probe(2, &probe);
         tl.set_enabled(true);
         for i in 0..5u64 {
             tl.instant("t", format!("e{i}"), SimTime::from_us(i));
         }
-        assert_eq!(tl.events().count(), 2);
+        assert_eq!(tl.events().len(), 2);
         assert_eq!(tl.dropped(), 3);
         assert_eq!(reg.snapshot().counter("sim.timeline.dropped"), 3);
+    }
+
+    #[test]
+    fn timeline_clones_share_the_ring() {
+        let tl = Timeline::new(8);
+        tl.set_enabled(true);
+        let clone = tl.clone();
+        clone.instant("t", "from-clone", SimTime::ZERO);
+        assert_eq!(tl.events().len(), 1);
+        assert_eq!(tl.events()[0].name, "from-clone");
+    }
+
+    #[test]
+    fn ctx_events_filter_and_export() {
+        let tl = Timeline::new(16);
+        tl.set_enabled(true);
+        let a = TraceCtx { host: 0, pdu: 1 };
+        let b = TraceCtx { host: 0, pdu: 2 };
+        tl.span_ctx(
+            "n0.proto",
+            "proto.tx",
+            a,
+            SimTime::ZERO,
+            SimTime::from_us(5),
+        );
+        tl.span_ctx(
+            "n0.proto",
+            "proto.tx",
+            b,
+            SimTime::from_us(5),
+            SimTime::from_us(9),
+        );
+        tl.instant("n0.app", "send", SimTime::ZERO); // no ctx
+        assert_eq!(tl.events_for(a).len(), 1);
+        assert_eq!(tl.ctxs(), vec![a, b]);
+        let doc = tl.to_chrome_json();
+        let evs = doc.get("traceEvents").unwrap().items();
+        assert_eq!(
+            evs[0].get("args").unwrap().get("ctx").unwrap().as_str(),
+            Some("h0:p1")
+        );
+    }
+
+    /// A hand-built span set exercising nesting, gaps, and the sum
+    /// invariant:
+    ///
+    /// ```text
+    /// 0        10        20        30        40        50
+    /// [ proto.tx ][ fw.tx               ]          [ drain ]
+    ///               [dma.tx]    (gap → intr.wait span at 40)
+    ///                              [intr.wait        ]
+    /// ```
+    #[test]
+    fn critical_path_attributes_every_picosecond() {
+        let tl = Timeline::new(64);
+        tl.set_enabled(true);
+        let ctx = TraceCtx { host: 0, pdu: 7 };
+        let us = SimTime::from_us;
+        tl.span_ctx("n0.proto", "proto.tx", ctx, us(0), us(10));
+        tl.span_ctx("n0.board.tx", "fw.tx", ctx, us(10), us(30));
+        tl.span_ctx("n0.board.tx.dma", "dma.tx", ctx, us(14), us(20));
+        tl.span_ctx("n1.host", "intr.wait", ctx, us(30), us(45));
+        tl.span_ctx("n1.host", "drain", ctx, us(45), us(50));
+        let p = CriticalPath::analyze(&tl, ctx).expect("spans exist");
+        assert_eq!(p.total(), SimDuration::from_us(50));
+        assert_eq!(p.stage_sum(), p.total());
+        // proto.tx 10 + drain 5 = 15 protocol CPU.
+        assert_eq!(p.stage(Stage::ProtocolCpu), SimDuration::from_us(15));
+        // dma.tx wins its 6 us inside fw.tx; fw keeps the rest (14 us).
+        assert_eq!(p.stage(Stage::DmaTransfer), SimDuration::from_us(6));
+        assert_eq!(p.stage(Stage::AdaptorFw), SimDuration::from_us(14));
+        assert_eq!(p.stage(Stage::InterruptDelay), SimDuration::from_us(15));
+        let tree = p.render_tree();
+        // dma.tx is nested one level deeper than fw.tx.
+        let fw_line = tree.lines().find(|l| l.contains("fw.tx")).unwrap();
+        let dma_line = tree.lines().find(|l| l.contains("dma.tx")).unwrap();
+        let indent = |l: &str| l.chars().take_while(|c| *c == ' ').count();
+        assert!(indent(dma_line) > indent(fw_line), "{tree}");
+        let table = p.render_stage_table();
+        assert!(table.contains("exact"), "{table}");
+    }
+
+    #[test]
+    fn critical_path_gap_goes_to_next_span() {
+        let tl = Timeline::new(16);
+        tl.set_enabled(true);
+        let ctx = TraceCtx { host: 1, pdu: 3 };
+        let us = SimTime::from_us;
+        tl.span_ctx("a", "proto.tx", ctx, us(0), us(10));
+        // 10..25 uncovered, then a DMA span: the gap is DMA wait.
+        tl.span_ctx("b", "dma.rx", ctx, us(25), us(30));
+        let p = CriticalPath::analyze(&tl, ctx).unwrap();
+        assert_eq!(p.stage(Stage::ProtocolCpu), SimDuration::from_us(10));
+        assert_eq!(p.stage(Stage::DmaTransfer), SimDuration::from_us(20));
+        assert_eq!(p.stage_sum(), p.total());
+    }
+
+    #[test]
+    fn stage_percentiles_summarise_paths() {
+        let tl = Timeline::new(64);
+        tl.set_enabled(true);
+        let us = SimTime::from_us;
+        for i in 0..4u32 {
+            let ctx = TraceCtx { host: 0, pdu: i };
+            let base = SimTime::from_us(100 * i as u64);
+            tl.span_ctx("p", "proto.tx", ctx, base, base + SimDuration::from_us(10));
+            tl.span_ctx(
+                "d",
+                "dma.tx",
+                ctx,
+                base + SimDuration::from_us(10),
+                base + SimDuration::from_us(10 + 2 * (i as u64 + 1)),
+            );
+        }
+        let _ = us; // keep the helper idiom consistent with other tests
+        let paths = CriticalPath::analyze_all(&tl);
+        assert_eq!(paths.len(), 4);
+        let rows = CriticalPath::stage_percentiles(&paths);
+        let (_, proto) = rows.iter().find(|(s, _)| *s == Stage::ProtocolCpu).unwrap();
+        assert_eq!(proto.samples, 4);
+        assert_eq!(proto.min, 10.0);
+        let (_, dma) = rows.iter().find(|(s, _)| *s == Stage::DmaTransfer).unwrap();
+        assert_eq!(dma.min, 2.0);
+        assert_eq!(dma.max, 8.0);
+        let e2e = CriticalPath::e2e_summary(&paths);
+        assert_eq!(e2e.samples, 4);
+        assert_eq!(e2e.max, 18.0);
     }
 }

@@ -64,6 +64,7 @@ fn main() {
         bufs: vec![Descriptor::tx(buffer, wire.len() as u32, Vci(5), true)],
         len: wire.len() as u32,
         ready_at: t0,
+        ctx: None,
     };
     let (verdict, t1) = stack.input(t0, &mut host, &pdu);
     match verdict {

@@ -11,11 +11,17 @@
 //! Pass `--trace-out trace.json` to additionally record one traced
 //! ping-pong on the typed timeline and write it as Chrome trace-event
 //! JSON (load it in `chrome://tracing` or Perfetto).
+//!
+//! Pass `--pdu-trace` to run one traced ping-pong and print the ping
+//! PDU's full causal span tree (send → fragmentation → DMA → lanes →
+//! reassembly → interrupt → delivery) plus its per-stage latency
+//! attribution, which sums exactly to the measured end-to-end latency.
 
 use osiris::board::dma::DmaMode;
 use osiris::config::{TestbedConfig, TouchMode};
 use osiris::experiments::{receive_throughput, round_trip_latency};
-use osiris::sim::{SimTime, Simulation};
+use osiris::report;
+use osiris::sim::{CriticalPath, SimTime, Simulation};
 use osiris::testbed::{Event, NodeId, Testbed};
 
 /// Runs one 1 KB ping-pong with the timeline enabled and writes the
@@ -24,7 +30,7 @@ fn dump_chrome_trace(path: &str) {
     let mut cfg = TestbedConfig::ds5000_200_udp();
     cfg.msg_size = 1024;
     cfg.messages = 1;
-    let mut tb = Testbed::new_pair(cfg);
+    let tb = Testbed::new_pair(cfg);
     tb.timeline.set_enabled(true);
     let mut sim = Simulation::new(tb);
     sim.queue
@@ -34,8 +40,35 @@ fn dump_chrome_trace(path: &str) {
     std::fs::write(path, doc).expect("write trace file");
     println!(
         "wrote {} timeline events to {path} (open in chrome://tracing or Perfetto)",
-        sim.model.timeline.events().count()
+        sim.model.timeline.events().len()
     );
+}
+
+/// Runs one traced 16 KB ping-pong and prints the ping PDU's whole
+/// causal path: the span tree across every layer, then the per-stage
+/// attribution summing to the measured end-to-end latency.
+fn print_pdu_trace() {
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 1024;
+    cfg.messages = 1;
+    let tb = Testbed::new_pair(cfg);
+    tb.timeline.set_enabled(true);
+    let mut sim = Simulation::new(tb);
+    sim.queue
+        .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
+    assert!(sim.run_while(|m| !m.done), "traced ping did not complete");
+    let paths = CriticalPath::analyze_all(&sim.model.timeline);
+    let ping = paths
+        .iter()
+        .find(|p| p.ctx.host == 0)
+        .expect("traced ping PDU");
+    println!("one 1 KB UDP/IP datagram, node 0 -> node 1 (DEC 5000/200 pair):\n");
+    print!("{}", ping.render_tree());
+    println!("\nwhere the time went:");
+    print!("{}", ping.render_stage_table());
+    if let Some(warn) = report::dropped_spans_warning(&sim.model.snapshot()) {
+        println!("{warn}");
+    }
 }
 
 fn main() {
@@ -43,6 +76,10 @@ fn main() {
     if let Some(i) = args.iter().position(|a| a == "--trace-out") {
         let path = args.get(i + 1).expect("--trace-out needs a file path");
         dump_chrome_trace(path);
+        return;
+    }
+    if args.iter().any(|a| a == "--pdu-trace") {
+        print_pdu_trace();
         return;
     }
     // ── Round-trip latency (Table 1 style) ─────────────────────────────

@@ -29,4 +29,15 @@ trap 'rm -rf "$tmp"' EXIT
 cargo run --release -q --example quickstart -- --trace-out "$tmp/trace.json"
 test -s "$tmp/trace.json"
 
+echo "==> smoke: bench snapshot + regression gate (fig2 --quick)"
+# The simulator is deterministic, so the quick sweep reproduces the
+# committed baseline exactly; the gate exists to catch code changes that
+# move a headline metric the wrong way. Snapshots land in target/bench
+# so the workflow can archive them as artifacts.
+mkdir -p target/bench
+cargo run --release -q -p osiris-bench --bin fig2 -- --quick --bench-out target/bench/BENCH_fig2.json
+test -s target/bench/BENCH_fig2.json
+cargo run --release -q -p osiris-bench --bin regress -- \
+  crates/bench/baselines/BENCH_fig2.json target/bench/BENCH_fig2.json --threshold 5
+
 echo "CI OK"
