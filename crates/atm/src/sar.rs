@@ -569,6 +569,48 @@ impl Reassembler {
         })
     }
 
+    /// Abandons an in-flight PDU, discarding its partial state. Used by the
+    /// receive path's reassembly timeout to reclaim physical buffers when a
+    /// dropped cell (or a dropped per-lane EOM) would otherwise wedge the
+    /// reassembly forever.
+    ///
+    /// Late or straggling cells of the aborted PDU may subsequently be
+    /// misattributed to a successor PDU; the per-lane / per-PDU CRC catches
+    /// that at completion time, so an abort can cause extra *drops* but never
+    /// causes corrupted data to be delivered.
+    pub fn abort(&mut self, pdu: u64) {
+        self.records.remove(&pdu);
+        match self.mode {
+            ReassemblyMode::InOrder => {
+                if pdu == self.current_pdu {
+                    self.current_pdu += 1;
+                    self.inorder_offset = 0;
+                    self.inorder_crc = Crc32::new();
+                }
+            }
+            ReassemblyMode::SeqNum { .. } => {
+                if pdu == self.current_pdu {
+                    self.current_pdu += 1;
+                }
+            }
+            ReassemblyMode::FourWay { lanes } => {
+                let lanes = lanes as usize;
+                // Lanes still parked on the aborted PDU resynchronise at the
+                // next PDU (skipping completed PDUs that carried no cells for
+                // them). Lanes already past it need no help; lanes still
+                // *behind* it will recreate a record for `pdu` if stragglers
+                // arrive — that record can never complete with a good CRC and
+                // is reclaimed by the next timeout sweep.
+                for l in 0..lanes {
+                    if self.lane_pos[l].0 == pdu {
+                        let next = self.skip_empty_completed(pdu + 1, l, lanes);
+                        self.lane_pos[l] = (next, 0);
+                    }
+                }
+            }
+        }
+    }
+
     fn try_complete_fourway(&mut self, pdu: u64, lanes: usize) -> Option<PduComplete> {
         let (done, total) = {
             let rec = self.records.get(&pdu)?;
@@ -935,6 +977,63 @@ mod tests {
             out = r.receive(i % 4, c).unwrap().completed.or(out);
         }
         assert!(!out.unwrap().crc_ok);
+    }
+
+    #[test]
+    fn fourway_abort_unwedges_a_lane_missing_its_eom() {
+        // Two 8-cell PDUs on a 4-lane stripe. Drop lane 2's EOM cell of the
+        // first PDU (global cell 6): without intervention lane 2 is parked on
+        // PDU 0 forever and PDU 1 can never complete.
+        let d1 = payload(44 * 8);
+        let d2 = payload(44 * 8);
+        let s = seg(FramingMode::FourWay { lanes: 4 }, SegmentUnit::Pdu);
+        let c1 = s.segment(Vci(1), &[&d1]);
+        let c2 = s.segment(Vci(1), &[&d2]);
+        let mut r = Reassembler::new(ReassemblyMode::FourWay { lanes: 4 }, 1 << 20, true);
+        for (i, c) in c1.iter().enumerate() {
+            if i == 6 {
+                continue; // the dropped cell
+            }
+            assert!(r.receive(i % 4, c).unwrap().completed.is_none());
+        }
+        assert_eq!(r.in_flight(), 1);
+
+        // Timeout fires: reclaim PDU 0.
+        r.abort(0);
+        assert_eq!(r.in_flight(), 0);
+
+        // The next PDU now reassembles cleanly on all four lanes.
+        let mut out = None;
+        for (i, c) in c2.iter().enumerate() {
+            out = r.receive(i % 4, c).unwrap().completed.or(out);
+        }
+        let p = out.expect("PDU 1 completes after the abort");
+        assert_eq!(p.pdu, 1);
+        assert!(p.crc_ok);
+        assert_eq!(p.data.unwrap(), d2);
+    }
+
+    #[test]
+    fn inorder_abort_resets_running_state() {
+        let d1 = payload(44 * 3);
+        let d2 = payload(100);
+        let s = seg(FramingMode::EndOfPdu, SegmentUnit::Pdu);
+        let c1 = s.segment(Vci(1), &[&d1]);
+        let c2 = s.segment(Vci(1), &[&d2]);
+        let mut r = Reassembler::new(ReassemblyMode::InOrder, 1 << 20, true);
+        // Deliver the first two cells of PDU 0, then lose the tail.
+        r.receive(0, &c1[0]).unwrap();
+        r.receive(0, &c1[1]).unwrap();
+        r.abort(0);
+        assert_eq!(r.in_flight(), 0);
+        let mut out = None;
+        for c in &c2 {
+            out = r.receive(0, c).unwrap().completed.or(out);
+        }
+        let p = out.expect("complete");
+        assert!(p.crc_ok);
+        assert_eq!(p.pdu, 1);
+        assert_eq!(p.data.unwrap(), d2);
     }
 
     #[test]

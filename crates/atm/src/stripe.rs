@@ -14,6 +14,7 @@
 //! The striper also injects cell loss and corruption for the fault-
 //! handling tests (CRC detection, lazy cache invalidation recovery).
 
+use osiris_sim::faults::{CellFate, FaultInjector, FaultPlan};
 use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::{SimDuration, SimRng, SimTime};
 
@@ -92,8 +93,12 @@ pub struct StripedLink {
     queue_jitter_max: SimDuration,
     drop_prob: f64,
     corrupt_prob: f64,
+    /// Structured fault injection on top of the legacy uniform
+    /// probabilities (`None` when the run's `FaultPlan` is empty).
+    injector: Option<FaultInjector>,
     cells_dropped: Counter,
     cells_corrupted: Counter,
+    cells_remapped: Counter,
 }
 
 impl StripedLink {
@@ -120,8 +125,20 @@ impl StripedLink {
             queue_jitter_max: skew.queue_jitter_max,
             drop_prob: skew.drop_prob,
             corrupt_prob: skew.corrupt_prob,
+            injector: None,
             cells_dropped: p.counter("cells_dropped"),
             cells_corrupted: p.counter("cells_corrupted"),
+            cells_remapped: p.counter("cells_remapped"),
+        }
+    }
+
+    /// Arms the structured fault plan on this link. `component_seed`
+    /// (typically the per-node link seed) keeps fault streams independent
+    /// across links while staying deterministic. An empty plan is a
+    /// no-op, so unconditional wiring is safe.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, component_seed: u64) {
+        if plan.affects_lanes() {
+            self.injector = Some(FaultInjector::new(plan, component_seed));
         }
     }
 
@@ -138,6 +155,13 @@ impl StripedLink {
     /// Sends cell `index_in_pdu` of a PDU at `now`, possibly corrupting it
     /// in place. Returns `(lane, arrival_time)`, or `None` if the cell was
     /// dropped.
+    ///
+    /// The returned lane is always the *logical* stripe lane
+    /// (`index mod lanes`): under a lane outage with graceful degradation
+    /// the cell serialises through a live lane's transmitter but still
+    /// belongs to its logical lane — four-way framing bakes the lane into
+    /// the cell trailers at segmentation, so the receiver's reassembler
+    /// must keep seeing the logical lane. Only the physical timing moves.
     pub fn send_cell(
         &mut self,
         now: SimTime,
@@ -155,12 +179,39 @@ impl StripedLink {
             self.cells_corrupted.incr();
         }
         let lane = (index_in_pdu as usize) % self.lanes.len();
+        let mut physical = lane;
+        if let Some(inj) = &mut self.injector {
+            match inj.offer(lane, cell.payload.len()) {
+                CellFate::Drop => {
+                    self.cells_dropped.incr();
+                    return None;
+                }
+                CellFate::Corrupt { byte, bit } => {
+                    cell.corrupt_bit(byte, bit);
+                    self.cells_corrupted.incr();
+                }
+                CellFate::Deliver => {}
+            }
+            match inj.physical_lane(lane, now, self.lanes.len()) {
+                Some(p) => {
+                    if p != lane {
+                        self.cells_remapped.incr();
+                    }
+                    physical = p;
+                }
+                None => {
+                    // The lane is dark and nothing can carry its cells.
+                    self.cells_dropped.incr();
+                    return None;
+                }
+            }
+        }
         let jitter = if self.queue_jitter_max.is_zero() {
             SimDuration::ZERO
         } else {
             SimDuration::from_ps(self.rng.gen_range(self.queue_jitter_max.as_ps() + 1))
         };
-        let arrival = self.lanes[lane].send(now, jitter);
+        let arrival = self.lanes[physical].send(now, jitter);
         Some((lane, arrival))
     }
 
@@ -172,6 +223,12 @@ impl StripedLink {
     /// Cells corrupted by fault injection.
     pub fn cells_corrupted(&self) -> u64 {
         self.cells_corrupted.get()
+    }
+
+    /// Cells carried over a live lane while their logical lane was in an
+    /// outage window (graceful stripe degradation).
+    pub fn cells_remapped(&self) -> u64 {
+        self.cells_remapped.get()
     }
 
     /// Total cells carried (all lanes).
@@ -283,5 +340,89 @@ mod tests {
         assert!(!SkewConfig::none().has_skew());
         assert!(SkewConfig::mux_skew(1).has_skew());
         assert!(SkewConfig::switch_queueing(1, SimDuration::from_us(5)).has_skew());
+    }
+
+    #[test]
+    fn fault_plan_point_drop_kills_exactly_one_cell() {
+        use osiris_sim::faults::{PointFault, PointFaultKind};
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        link.set_fault_plan(
+            &FaultPlan {
+                // The 2nd cell offered to lane 1 (= global cell index 5).
+                point_faults: vec![PointFault {
+                    lane: 1,
+                    nth: 1,
+                    kind: PointFaultKind::Drop,
+                }],
+                ..FaultPlan::default()
+            },
+            0,
+        );
+        let mut outcomes = Vec::new();
+        for i in 0..8u32 {
+            let mut c = mk_cell(i as u16);
+            outcomes.push(link.send_cell(SimTime::ZERO, i, &mut c).is_some());
+        }
+        let expected: Vec<bool> = (0..8).map(|i| i != 5).collect();
+        assert_eq!(outcomes, expected);
+        assert_eq!(link.cells_dropped(), 1);
+    }
+
+    #[test]
+    fn outage_without_remap_drops_the_lane() {
+        use osiris_sim::faults::LaneOutage;
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        link.set_fault_plan(
+            &FaultPlan {
+                outages: vec![LaneOutage {
+                    lane: 2,
+                    from: SimTime::ZERO,
+                    until: SimTime::from_secs(1),
+                }],
+                ..FaultPlan::default()
+            },
+            0,
+        );
+        for i in 0..8u32 {
+            let mut c = mk_cell(i as u16);
+            let sent = link.send_cell(SimTime::ZERO, i, &mut c);
+            assert_eq!(sent.is_none(), i % 4 == 2, "only lane 2 goes dark");
+        }
+        assert_eq!(link.cells_dropped(), 2);
+        assert_eq!(link.cells_remapped(), 0);
+    }
+
+    #[test]
+    fn outage_with_remap_keeps_the_logical_lane_and_loses_nothing() {
+        use osiris_sim::faults::LaneOutage;
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        link.set_fault_plan(
+            &FaultPlan {
+                outages: vec![LaneOutage {
+                    lane: 0,
+                    from: SimTime::ZERO,
+                    until: SimTime::from_secs(1),
+                }],
+                remap_on_outage: true,
+                ..FaultPlan::default()
+            },
+            0,
+        );
+        let mut lane0_arrivals = Vec::new();
+        for i in 0..16u32 {
+            let mut c = mk_cell(i as u16);
+            let (lane, at) = link
+                .send_cell(SimTime::ZERO, i, &mut c)
+                .expect("remap carries every cell");
+            assert_eq!(lane, (i % 4) as usize, "logical lane is preserved");
+            if lane == 0 {
+                lane0_arrivals.push(at);
+            }
+        }
+        assert_eq!(link.cells_dropped(), 0);
+        assert_eq!(link.cells_remapped(), 4);
+        // Remapped cells still arrive in order (they share one live
+        // transmitter for the whole window).
+        assert!(lane0_arrivals.windows(2).all(|w| w[0] <= w[1]));
     }
 }

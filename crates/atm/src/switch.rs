@@ -100,7 +100,11 @@ pub struct Switch {
     stats: Vec<PortCounters>,
     /// Port group used by the coordinated mode (all members share fate).
     group: Vec<usize>,
+    /// Bound on each output queue in cells (`None` = unbounded, the
+    /// historical behavior). Set from the run's `FaultPlan`.
+    max_queue_cells: Option<u32>,
     unrouted: Counter,
+    overflow_dropped: Counter,
 }
 
 impl Switch {
@@ -129,9 +133,19 @@ impl Switch {
             routes: HashMap::new(),
             lane_routes: HashMap::new(),
             group: Vec::new(),
+            max_queue_cells: None,
             unrouted: p.counter("unrouted"),
+            overflow_dropped: p.counter("overflow_dropped"),
             spec,
         }
+    }
+
+    /// Bounds every output queue to `cells` waiting cells; a cell whose
+    /// port backlog already covers that many cell times is dropped
+    /// (counted in `overflow_dropped`). `None` restores the unbounded
+    /// historical behavior.
+    pub fn set_max_queue_cells(&mut self, cells: Option<u32>) {
+        self.max_queue_cells = cells;
     }
 
     /// Installs `vci → port`.
@@ -175,7 +189,7 @@ impl Switch {
             self.unrouted.incr();
             return None;
         };
-        Some((port, self.depart(now, port)))
+        self.depart(now, port).map(|at| (port, at))
     }
 
     /// Forwards a cell that arrived on stripe lane `lane`, using the
@@ -194,13 +208,21 @@ impl Switch {
         };
         let port = base + lane;
         assert!(port < self.spec.ports, "lane {lane} overruns port block");
-        Some((port, self.depart(now, port)))
+        self.depart(now, port).map(|at| (port, at))
     }
 
     /// Queues one cell on `port`'s output and returns its departure time
-    /// (after queueing + serialisation + fabric latency).
-    fn depart(&mut self, now: SimTime, port: usize) -> SimTime {
+    /// (after queueing + serialisation + fabric latency), or `None` when
+    /// the bounded output queue overflows and the cell is dropped.
+    fn depart(&mut self, now: SimTime, port: usize) -> Option<SimTime> {
         let at = now + self.spec.fabric_latency;
+        if let Some(max) = self.max_queue_cells {
+            let backlog = self.outputs[port].free_at().saturating_since(at);
+            if backlog.as_ps() >= self.spec.cell_time().as_ps().saturating_mul(max as u64) {
+                self.overflow_dropped.incr();
+                return None;
+            }
+        }
         let grant = self.outputs[port].acquire(at, self.spec.cell_time());
         self.stats[port].cells.incr();
         self.stats[port]
@@ -218,7 +240,7 @@ impl Switch {
                 .unwrap_or(departure);
             departure = departure.max(worst);
         }
-        departure
+        Some(departure)
     }
 
     /// Occupies an output port with cross traffic for `cells` cell times
@@ -240,6 +262,11 @@ impl Switch {
     /// Cells dropped for lack of a route.
     pub fn unrouted(&self) -> u64 {
         self.unrouted.get()
+    }
+
+    /// Cells dropped by bounded output queues.
+    pub fn overflow_dropped(&self) -> u64 {
+        self.overflow_dropped.get()
     }
 }
 
@@ -354,6 +381,27 @@ mod tests {
             last = dep;
         }
         assert_eq!(sw.port_stats(2).cells, 20);
+    }
+
+    #[test]
+    fn bounded_output_queue_drops_on_overflow() {
+        let mut sw = Switch::new(SwitchSpec::sts3c_16port());
+        sw.route(Vci(1), 0);
+        sw.set_max_queue_cells(Some(4));
+        // Offer 12 cells at the same instant: four fit in the bounded
+        // queue (in service + waiting), the rest overflow.
+        let mut forwarded = 0;
+        for seq in 0..12u16 {
+            if sw.forward(SimTime::ZERO, &cell(1, seq)).is_some() {
+                forwarded += 1;
+            }
+        }
+        assert_eq!(forwarded, 4, "bound covers in-service + waiting cells");
+        assert_eq!(sw.overflow_dropped(), 8);
+        assert_eq!(sw.port_stats(0).cells, 4, "dropped cells never count");
+        // Once the queue drains, cells flow again.
+        let later = SimTime::from_secs(1);
+        assert!(sw.forward(later, &cell(1, 99)).is_some());
     }
 
     #[test]

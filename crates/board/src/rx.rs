@@ -60,6 +60,11 @@ pub struct RxConfig {
     pub lookahead_window: SimDuration,
     /// Largest PDU the reassembler accepts.
     pub max_pdu_bytes: u32,
+    /// Per-VCI reassembly timeout: a PDU whose first cell is older than
+    /// this without completing is abandoned and its physical buffers
+    /// reclaimed (see [`RxProcessor::reap_stale`]). `None` (the paper's
+    /// firmware) waits forever — a dropped cell wedges the VCI.
+    pub reassembly_timeout: Option<SimDuration>,
     /// Firmware budgets.
     pub fw: FirmwareSpec,
 }
@@ -76,6 +81,7 @@ impl RxConfig {
             buffer_bytes: 16 * 1024,
             lookahead_window: SimDuration::from_us(6),
             max_pdu_bytes: 256 * 1024,
+            reassembly_timeout: None,
             fw: FirmwareSpec::paper_default(),
         }
     }
@@ -95,6 +101,10 @@ pub struct RxStats {
     pub pdus_crc_failed: u64,
     /// Cells rejected by the reassembler (typed errors).
     pub cells_rejected: u64,
+    /// Cells dropped because their VCI had no demultiplexing entry.
+    pub cells_unknown_vci: u64,
+    /// PDUs abandoned by the reassembly timeout (buffers reclaimed).
+    pub pdus_dropped_timeout: u64,
     /// DMA transactions issued.
     pub dma_transactions: u64,
     /// Payload pairs merged into double-cell transactions.
@@ -166,6 +176,8 @@ struct RxCounters {
     pdus_dropped_no_buffer: Counter,
     pdus_crc_failed: Counter,
     cells_rejected: Counter,
+    cells_unknown_vci: Counter,
+    pdus_dropped_timeout: Counter,
     dma_transactions: Counter,
     double_cell_merges: Counter,
     /// Interrupt opportunities: descriptor pushes that would interrupt
@@ -186,6 +198,8 @@ impl RxCounters {
             pdus_dropped_no_buffer: p.counter("pdus_dropped_no_buffer"),
             pdus_crc_failed: p.counter("pdus_crc_failed"),
             cells_rejected: p.counter("cells_rejected"),
+            cells_unknown_vci: p.counter("cells_unknown_vci"),
+            pdus_dropped_timeout: p.counter("pdus_dropped_timeout"),
             dma_transactions: p.counter("dma_transactions"),
             double_cell_merges: p.counter("double_cell_merges"),
             intr_raised: p.counter("intr_raised"),
@@ -280,7 +294,11 @@ impl RxProcessor {
     }
 
     /// Binds a VCI to a queue page (the early-demultiplexing table).
-    /// Unbound VCIs land on the kernel page (0).
+    ///
+    /// While the table is empty the board is promiscuous: every VCI lands
+    /// on the kernel page (0). Once any binding exists, cells on unbound
+    /// VCIs are dropped on the board and counted (`cells_unknown_vci`) —
+    /// they must not silently alias onto page 0's buffers.
     pub fn bind_vci(&mut self, vci: Vci, page: usize) {
         assert!(page < QUEUE_PAGES);
         self.vci_to_page.insert(vci, page);
@@ -331,6 +349,8 @@ impl RxProcessor {
             pdus_dropped_no_buffer: self.stats.pdus_dropped_no_buffer.get(),
             pdus_crc_failed: self.stats.pdus_crc_failed.get(),
             cells_rejected: self.stats.cells_rejected.get(),
+            cells_unknown_vci: self.stats.cells_unknown_vci.get(),
+            pdus_dropped_timeout: self.stats.pdus_dropped_timeout.get(),
             dma_transactions: self.stats.dma_transactions.get(),
             double_cell_merges: self.stats.double_cell_merges.get(),
         }
@@ -387,7 +407,18 @@ impl RxProcessor {
         let t_fw = fw.finish;
 
         let vci = cell.header.vci;
-        let page = self.vci_to_page.get(&vci).copied().unwrap_or(0);
+        // Early demultiplexing: an unbound VCI must not alias onto page 0's
+        // buffers once any binding exists — drop it on the board, counted.
+        // (An empty table means promiscuous standalone use: everything is
+        // kernel traffic on page 0.)
+        let page = match self.vci_to_page.get(&vci) {
+            Some(&p) => p,
+            None if self.vci_to_page.is_empty() => 0,
+            None => {
+                self.stats.cells_unknown_vci.incr();
+                return out;
+            }
+        };
         let mode = self.cfg.reassembly;
         let max_pdu = self.cfg.max_pdu_bytes;
         let reasm = self
@@ -489,6 +520,106 @@ impl RxProcessor {
         let p = self.pending.take().expect("checked");
         self.issue_dma(now.max(p.ready), p.addr, &p.data, p.ctx, mem, cache, phys);
         true
+    }
+
+    /// Number of PDU reassemblies currently holding state (and possibly
+    /// physical buffers). The harness keeps its reap tick armed while
+    /// this is nonzero.
+    pub fn partial_pdus(&self) -> usize {
+        self.pdu_state.len()
+    }
+
+    /// Abandons reassemblies whose first cell arrived more than the
+    /// configured [`RxConfig::reassembly_timeout`] ago: the per-VCI
+    /// reassembler is resynchronised ([`Reassembler::abort`]) and the
+    /// PDU's physical buffers are reclaimed. Counted as
+    /// `pdus_dropped_timeout`.
+    ///
+    /// Buffers not yet handed to the host go straight back to the page's
+    /// free ring. If part of the PDU's chain was already pushed to the
+    /// receive ring (multi-buffer PDUs), the chain is closed with an
+    /// errored EOP descriptor so the host driver recycles the whole chain
+    /// through its normal error path — buffer conservation holds either
+    /// way. A no-op when no timeout is configured.
+    pub fn reap_stale(&mut self, now: SimTime) -> RxOutcome {
+        let mut out = RxOutcome::default();
+        let Some(timeout) = self.cfg.reassembly_timeout else {
+            return out;
+        };
+        let mut stale: Vec<(Vci, u64)> = self
+            .pdu_state
+            .iter()
+            .filter(|(_, s)| s.first_at + timeout <= now)
+            .map(|(&k, _)| k)
+            .collect();
+        // HashMap iteration order is arbitrary; sort for determinism.
+        stale.sort_unstable_by_key(|&(v, p)| (v.0, p));
+        for key in stale {
+            let state = self.pdu_state.remove(&key).expect("listed above");
+            let page = state.page;
+            let pushed_upto = state.pushed_upto;
+            let ctx = state.ctx;
+            let mut unpushed = state.bufs.into_iter().flatten().skip(pushed_upto);
+            if pushed_upto > 0 {
+                // Close the host-side chain. Reuse the first unpushed
+                // buffer as the errored-EOP carrier; if the PDU stalled
+                // exactly at a buffer boundary there is none, so borrow
+                // one from the free ring (the driver recycles it right
+                // back along with the rest of the chain).
+                let closer = unpushed
+                    .next()
+                    .or_else(|| self.free_rings[page].pop().map(|(d, _)| d));
+                match closer {
+                    Some(d) => {
+                        let desc = Descriptor {
+                            addr: d.addr,
+                            len: 0,
+                            vci: key.0,
+                            eop: true,
+                            err: true,
+                            ctx,
+                        };
+                        self.push_rx(now, page, desc, &mut out);
+                    }
+                    None => {
+                        // Nothing anywhere to carry the EOP (free ring
+                        // drained and no unpushed buffer). Keep the state
+                        // and retry at the next sweep, once the host has
+                        // returned buffers.
+                        self.pdu_state.insert(
+                            key,
+                            PduBufState {
+                                page,
+                                bufs: Vec::new(),
+                                buf_fill: Vec::new(),
+                                pushed_upto,
+                                poisoned: true,
+                                ctx,
+                                first_at: state.first_at,
+                            },
+                        );
+                        continue;
+                    }
+                }
+            }
+            for d in unpushed {
+                let _ = self.free_rings[page].push(d);
+            }
+            // Drop a pending double-cell payload aimed at the dead PDU so
+            // it is not flushed into a recycled buffer later.
+            if self.pending.as_ref().is_some_and(|p| p.key == key) {
+                self.pending = None;
+            }
+            if let Some(r) = self.reassemblers.get_mut(&key.0) {
+                r.abort(key.1);
+            }
+            self.stats.pdus_dropped_timeout.incr();
+            if let Some(c) = ctx {
+                self.timeline
+                    .instant_ctx(&self.track, "reasm.timeout", c, now);
+            }
+        }
+        out
     }
 
     /// Stores one cell's payload, handling buffer allocation, buffer-
@@ -1100,6 +1231,81 @@ mod tests {
             &mut r.cache,
             &mut r.phys
         ));
+    }
+
+    #[test]
+    fn unknown_vci_cells_are_counted_drops_once_bound() {
+        let mut r = rig(RxConfig::paper_default());
+        r.rx.bind_vci(Vci(42), 0);
+        let data = vec![1u8; 200];
+        let cells = cells_for(&data, Vci(7)); // unbound
+        let (outs, _) = feed(&mut r, &cells, SimTime::ZERO);
+        assert!(outs
+            .iter()
+            .all(|o| o.pushed.is_empty() && o.completed.is_none()));
+        assert_eq!(r.rx.stats().cells_unknown_vci, cells.len() as u64);
+        assert_eq!(r.rx.stats().pdus_delivered, 0);
+        // Bound traffic still flows.
+        let cells = cells_for(&data, Vci(42));
+        let (outs, _) = feed(&mut r, &cells, SimTime::from_ms(1));
+        assert!(outs.last().unwrap().completed.unwrap().crc_ok);
+    }
+
+    #[test]
+    fn reassembly_timeout_reclaims_buffers_and_unwedges_the_vci() {
+        let mut cfg = RxConfig::paper_default();
+        cfg.reassembly_timeout = Some(SimDuration::from_ms(1));
+        let mut r = rig(cfg);
+        let free_before = r.rx.free_ring(0).len();
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+        let cells = cells_for(&data, Vci(0));
+        // Lose the tail: the PDU can never complete on its own.
+        let (outs, t) = feed(&mut r, &cells[..cells.len() - 1], SimTime::ZERO);
+        assert!(outs.iter().all(|o| o.completed.is_none()));
+        assert_eq!(r.rx.partial_pdus(), 1);
+        assert_eq!(r.rx.free_ring(0).len(), free_before - 1);
+
+        // Before the deadline nothing is reaped.
+        let out = r.rx.reap_stale(SimTime::from_us(100));
+        assert!(out.pushed.is_empty());
+        assert_eq!(r.rx.partial_pdus(), 1);
+
+        // After it, the buffer returns to the free ring and the VCI works
+        // again.
+        let out = r.rx.reap_stale(t + SimDuration::from_ms(1));
+        assert!(out.pushed.is_empty(), "nothing was host-visible yet");
+        assert_eq!(r.rx.partial_pdus(), 0);
+        assert_eq!(r.rx.free_ring(0).len(), free_before);
+        assert_eq!(r.rx.stats().pdus_dropped_timeout, 1);
+
+        let (outs, _) = feed(&mut r, &cells, t + SimDuration::from_ms(2));
+        let info = outs.last().unwrap().completed.expect("VCI unwedged");
+        assert!(info.crc_ok);
+        assert_eq!(info.len, 1000);
+    }
+
+    #[test]
+    fn timeout_closes_a_partially_pushed_chain_with_an_errored_eop() {
+        let mut cfg = RxConfig::paper_default();
+        cfg.reassembly_timeout = Some(SimDuration::from_ms(1));
+        let mut r = rig(cfg);
+        let n = 40_000usize;
+        let data: Vec<u8> = (0..n).map(|i| (i % 251) as u8).collect();
+        let cells = cells_for(&data, Vci(0));
+        // Feed enough cells to push the first 16 KB buffer, then stall.
+        let (outs, t) = feed(&mut r, &cells[..400], SimTime::ZERO);
+        let pushed: Vec<_> = outs.iter().flat_map(|o| o.pushed.iter()).collect();
+        assert_eq!(pushed.len(), 1, "first buffer reached the host");
+        let out = r.rx.reap_stale(t + SimDuration::from_ms(1));
+        // The chain is closed host-side with an errored EOP descriptor.
+        assert_eq!(out.pushed.len(), 1);
+        let (_, _, closer) = out.pushed[0];
+        assert!(closer.eop && closer.err);
+        assert_eq!(r.rx.stats().pdus_dropped_timeout, 1);
+        assert_eq!(r.rx.partial_pdus(), 0);
+        // Conservation: two descriptors live in the rx-ring chain, every
+        // other buffer is back on (or still in) the free ring.
+        assert_eq!(r.rx.free_ring(0).len() + r.rx.rx_ring(0).len(), 32);
     }
 
     #[test]

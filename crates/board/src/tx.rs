@@ -109,9 +109,15 @@ pub struct TxOutcome {
     pub vci: Vci,
     /// Data bytes transmitted.
     pub pdu_bytes: u64,
-    /// Cells handed to the link: `(arrival_at_peer, lane, cell)`. Empty
-    /// entries for cells the link dropped.
+    /// Cells that arrive at the peer: `(arrival_at_peer, lane, cell)`.
+    /// Cells the link dropped have no entry here — they are counted in
+    /// [`TxOutcome::cells_dropped`] instead.
     pub arrivals: Vec<(SimTime, usize, Cell)>,
+    /// Cells the link dropped in flight. The PDU still completes on the
+    /// transmit side — the tail pointer advances and the host reuses the
+    /// buffers (completed-with-error, never leaked); recovering the data
+    /// is the protocol stack's job.
+    pub cells_dropped: u32,
     /// When the transmit engine finished the PDU (tail visible to host).
     pub finished_at: SimTime,
     /// If the host was blocked on a full queue that has now drained to
@@ -138,6 +144,7 @@ pub struct TxProcessor {
     engine: FifoResource,
     pdus_sent: Counter,
     cells_sent: Counter,
+    cells_dropped: Counter,
     bytes_sent: Counter,
     wakeups: Counter,
     /// Per-PDU tracing sink (disabled until the harness installs one).
@@ -171,6 +178,7 @@ impl TxProcessor {
             engine: FifoResource::new("tx-80960"),
             pdus_sent: p.counter("pdus_sent"),
             cells_sent: p.counter("cells_sent"),
+            cells_dropped: p.counter("cells_dropped"),
             bytes_sent: p.counter("bytes_sent"),
             wakeups: p.counter("wakeups"),
             timeline: Timeline::default(),
@@ -233,6 +241,11 @@ impl TxProcessor {
     /// Cells transmitted.
     pub fn cells_sent(&self) -> u64 {
         self.cells_sent.get()
+    }
+
+    /// Cells the link dropped in flight (lifetime total).
+    pub fn cells_dropped(&self) -> u64 {
+        self.cells_dropped.get()
     }
 
     /// Data bytes transmitted.
@@ -299,6 +312,7 @@ impl TxProcessor {
                     vci,
                     pdu_bytes: 0,
                     arrivals: Vec::new(),
+                    cells_dropped: 0,
                     finished_at: g.finish,
                     wake_host_at: None,
                     more_work: self.has_work(),
@@ -359,6 +373,7 @@ impl TxProcessor {
 
         // Launch cells: each needs its firmware slot and its bytes fetched.
         let mut arrivals = Vec::with_capacity(cells.len());
+        let mut dropped = 0u32;
         let mut data_cursor = 0u64;
         let mut fetch_idx = 0usize;
         let mut last_finish = fw_cursor;
@@ -392,6 +407,9 @@ impl TxProcessor {
                     })
                     .or_insert((ready, arrival));
                 arrivals.push((arrival, lane, cell));
+            } else {
+                dropped += 1;
+                self.cells_dropped.incr();
             }
         }
 
@@ -431,6 +449,7 @@ impl TxProcessor {
             vci,
             pdu_bytes,
             arrivals,
+            cells_dropped: dropped,
             finished_at: last_finish,
             wake_host_at,
             more_work: self.has_work(),
@@ -587,6 +606,35 @@ mod tests {
             t = out.finished_at;
         }
         assert_eq!(woke, 1, "exactly one wakeup for a blocked host");
+    }
+
+    #[test]
+    fn dropped_cells_complete_with_error_instead_of_leaking() {
+        let (mut tx, mut mem, phys, _) = setup();
+        // A link that drops every cell.
+        let skew = SkewConfig {
+            drop_prob: 1.0,
+            ..SkewConfig::none()
+        };
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), skew);
+        queue_pdu(&mut tx, 0, &[(0x4000, 1000)], Vci(7));
+        let out = tx
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .unwrap();
+        // Nothing arrives, but the PDU is still completed: the drop is
+        // surfaced, the tail advances, and the queue slot is reusable.
+        assert!(out.arrivals.is_empty());
+        assert_eq!(out.cells_dropped, 1000u32.div_ceil(44));
+        assert_eq!(tx.cells_dropped(), out.cells_dropped as u64);
+        assert!(out.finished_at > SimTime::ZERO);
+        assert!(!out.more_work);
+        assert!(!tx.has_work(), "chain must be consumed, not stuck");
+        // The queue accepts and services the next PDU normally.
+        queue_pdu(&mut tx, 0, &[(0x4000, 44)], Vci(7));
+        let out2 = tx
+            .service(out.finished_at, &mut mem, &phys, &mut link)
+            .unwrap();
+        assert_eq!(out2.cells_dropped, 1);
     }
 
     #[test]

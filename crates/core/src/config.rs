@@ -8,7 +8,7 @@ use osiris_host::driver::CacheStrategy;
 use osiris_host::machine::MachineSpec;
 use osiris_host::wiring::WiringMode;
 use osiris_proto::wire::IP_HEADER_BYTES;
-use osiris_sim::SimConfig;
+use osiris_sim::{SimConfig, SimDuration};
 
 /// Which protocol layer the test programs sit on (§4: the "ATM" rows talk
 /// straight to the driver; the "UDP/IP" rows run the full stack).
@@ -98,6 +98,16 @@ pub struct TestbedConfig {
     /// n-page payload usually occupies n+1 physical buffers plus one for
     /// the header.
     pub data_offset: u64,
+    /// Opt-in reliable mode on the UDP/IP layer: datagrams are held,
+    /// acked by the receiver, and retransmitted with exponential backoff
+    /// until acknowledged (loss-sweep experiments; the paper's stack is
+    /// plain UDP, so this defaults off).
+    pub reliable: bool,
+    /// Per-VCI reassembly timeout on the receive board: a partial PDU
+    /// whose first cell is older than this is reaped, its physical
+    /// buffers reclaimed, and the VCI unwedged (`None` = never, the
+    /// paper's behaviour).
+    pub reassembly_timeout: Option<SimDuration>,
     /// Simulation-kernel observability sizing (trace ring, timeline).
     pub sim: SimConfig,
 }
@@ -133,6 +143,8 @@ impl TestbedConfig {
             verify_data: true,
             touch: TouchMode::None,
             data_offset: 2048,
+            reliable: false,
+            reassembly_timeout: None,
             sim: SimConfig::default(),
         }
     }

@@ -53,17 +53,22 @@ pub trait Fabric: std::fmt::Debug {
 }
 
 /// Per-node transmit links with per-node deterministic skew seeds —
-/// identical wiring for every fabric.
+/// identical wiring for every fabric. The config's [`FaultPlan`]
+/// (`cfg.sim.faults`) is installed on every link with a per-node
+/// component seed, so each node's fault stream is independent but fully
+/// determined by `(plan.seed, node index)`.
 fn build_links(cfg: &TestbedConfig, n: usize, registry: &Registry) -> Vec<StripedLink> {
     (0..n)
         .map(|i| {
             let mut skew = cfg.skew.clone();
             skew.seed = cfg.seed.wrapping_add(1000 + i as u64);
-            StripedLink::with_probe(
+            let mut link = StripedLink::with_probe(
                 LinkSpec::sts3c_back_to_back(),
                 skew,
                 &registry.probe(&format!("node{i}")),
-            )
+            );
+            link.set_fault_plan(&cfg.sim.faults, 2000 + i as u64);
+            link
         })
         .collect()
 }
@@ -122,7 +127,9 @@ impl SwitchedFabric {
     pub fn new(cfg: &TestbedConfig, registry: &Registry, n: usize) -> Self {
         let links = build_links(cfg, n, registry);
         let lanes = links[0].lanes();
-        let switch = Switch::with_probe(SwitchSpec::sts3c(n * lanes), &registry.probe("fabric"));
+        let mut switch =
+            Switch::with_probe(SwitchSpec::sts3c(n * lanes), &registry.probe("fabric"));
+        switch.set_max_queue_cells(cfg.sim.faults.switch_max_queue_cells);
         SwitchedFabric {
             links,
             lanes,

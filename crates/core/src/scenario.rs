@@ -9,7 +9,7 @@
 
 use osiris_adc::AdcManager;
 use osiris_atm::Vci;
-use osiris_sim::stats::{LatencyStats, ThroughputMeter};
+use osiris_sim::stats::{DurationHistogram, LatencyStats, ThroughputMeter};
 use osiris_sim::{Registry, SimDuration, SimTime, Simulation, Timeline, Trace};
 
 use crate::config::{Layer, TestbedConfig};
@@ -86,12 +86,16 @@ impl Scenario {
                 src: NodeId(0),
             }]],
             Scenario::Incast { senders } => {
+                // Forward VCIs 100+s carry sender s's data to the
+                // receiver; reverse VCIs 200+s carry the receiver's
+                // reliable-mode acks back to sender s (unused — but
+                // routed — when reliable mode is off).
                 let rcv = NodeId(senders);
                 let mut eps: Vec<Vec<Endpoint>> = (0..senders)
                     .map(|s| {
                         vec![Endpoint {
                             tx_vci: Vci(100 + s as u16),
-                            rx_vci: Vci(100 + s as u16),
+                            rx_vci: Vci(200 + s as u16),
                             local_port: 2000 + s as u16,
                             remote_port: 1000,
                             remote_host: senders as u16,
@@ -102,7 +106,7 @@ impl Scenario {
                 eps.push(
                     (0..senders)
                         .map(|s| Endpoint {
-                            tx_vci: Vci(100 + s as u16),
+                            tx_vci: Vci(200 + s as u16),
                             rx_vci: Vci(100 + s as u16),
                             local_port: 1000,
                             remote_port: 2000 + s as u16,
@@ -188,6 +192,8 @@ impl Scenario {
                 Scenario::Incast { senders } => {
                     for s in 0..senders {
                         f.connect(Vci(100 + s as u16), NodeId(senders));
+                        // The reverse (ack) path back to each sender.
+                        f.connect(Vci(200 + s as u16), NodeId(s));
                     }
                 }
                 Scenario::FanOut { receivers } => {
@@ -219,6 +225,7 @@ impl Scenario {
             nodes,
             fabric,
             latency: LatencyStats::new(),
+            latency_hist: DurationHistogram::new(),
             meter: ThroughputMeter::new(0),
             done: false,
             verify_failures: 0,
@@ -235,6 +242,8 @@ impl Scenario {
             drain_ahead_bound,
             eop_pushed: std::collections::HashMap::new(),
             switch_span_floor: std::collections::HashMap::new(),
+            reap_scheduled: vec![false; n],
+            reap_idle: vec![0; n],
         };
 
         // Workload: roles, budgets, completion rule.
@@ -340,12 +349,17 @@ mod tests {
         assert_eq!(tb.nodes.len(), 5);
         for s in 0..4 {
             assert_eq!(tb.nodes[s].role, Role::Source);
-            assert_eq!(tb.nodes[s].vci, Vci(100 + s as u16));
+            // Data goes out on 100+s; the reverse (ack) VCI 200+s is
+            // what the sender binds for receive.
+            assert_eq!(tb.nodes[s].tx_vcis, vec![Vci(100 + s as u16)]);
+            assert_eq!(tb.nodes[s].vci, Vci(200 + s as u16));
         }
         assert_eq!(tb.nodes[4].role, Role::Sink);
-        // The receiver binds every sender's VCI.
+        // The receiver binds every sender's VCI and knows the reverse
+        // path back to each sender.
         for s in 0..4u16 {
             assert!(tb.nodes[4].src_of_vci.contains_key(&Vci(100 + s)));
+            assert_eq!(tb.nodes[4].tx_vci_of_host.get(&s), Some(&Vci(200 + s)));
         }
     }
 

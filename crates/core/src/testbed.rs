@@ -37,7 +37,7 @@ use osiris_atm::stripe::StripedLink;
 use osiris_atm::Cell;
 use osiris_host::driver::{interrupt_to_thread, DeliveredPdu, SendOutcome};
 use osiris_sim::obs::Snapshot;
-use osiris_sim::stats::{LatencyStats, ThroughputMeter};
+use osiris_sim::stats::{DurationHistogram, LatencyStats, ThroughputMeter};
 use osiris_sim::{EventQueue, Model, Registry, SimDuration, SimTime, Timeline, Trace, TraceCtx};
 
 use osiris_proto::stack::{ProtoConfig, ProtoStack, RxVerdict};
@@ -97,6 +97,18 @@ pub enum Event {
     },
     /// The fictitious-PDU generator's next step (receive benches).
     GenKick,
+    /// The reassembly-timeout sweep on `host`'s receive board runs
+    /// (scheduled only when `cfg.reassembly_timeout` is set).
+    RxReapTick {
+        /// Node address.
+        host: NodeId,
+    },
+    /// A retransmission timer on `host`'s protocol stack may have
+    /// expired (reliable mode only).
+    RetransTick {
+        /// Node address.
+        host: NodeId,
+    },
 }
 
 /// The assembled testbed (implements [`Model`]).
@@ -110,6 +122,10 @@ pub struct Testbed {
     pub fabric: Box<dyn Fabric>,
     /// Round-trip samples (latency experiments).
     pub latency: LatencyStats,
+    /// Round-trip distribution over the same samples — the tail
+    /// (p99) is what loss turns pathological, so the loss sweep reads
+    /// it from here rather than from the mean/min/max accumulator.
+    pub latency_hist: DurationHistogram,
     /// Delivered-byte meter (throughput experiments).
     pub meter: ThroughputMeter,
     /// Set when the experiment's message budget is exhausted.
@@ -149,6 +165,12 @@ pub struct Testbed {
     /// one datagram pipeline through the switch, and spans on one track
     /// must never overlap.
     pub(crate) switch_span_floor: HashMap<(TraceCtx, usize), SimTime>,
+    /// Whether a reap sweep is already scheduled per node (one pending
+    /// sweep at a time keeps the event queue bounded).
+    pub(crate) reap_scheduled: Vec<bool>,
+    /// Consecutive sweeps per node that neither reclaimed a PDU nor
+    /// pushed a descriptor — the re-arm cap's progress signal.
+    pub(crate) reap_idle: Vec<u32>,
 }
 
 impl Testbed {
@@ -271,6 +293,71 @@ impl Testbed {
             }
         }
         self.pump_tx(t, host, q);
+        // Reliable mode: the stack registered the datagram; make sure a
+        // timer event exists for its RTO expiry.
+        if self.cfg.reliable && layer == Layer::UdpIp {
+            self.arm_retransmit(t, host, q);
+        }
+    }
+
+    /// Schedules a retransmit tick at the stack's earliest RTO expiry.
+    fn arm_retransmit(&mut self, now: SimTime, host: NodeId, q: &mut EventQueue<Event>) {
+        if let Some(at) = self.nodes[host.0].stack.next_retransmit_at() {
+            q.push(at.max(now), Event::RetransTick { host });
+        }
+    }
+
+    /// A retransmission timer fires: re-send every datagram whose RTO
+    /// expired (the stack doubles its backoff), then re-arm at the next
+    /// expiry. Abandoned datagrams (`max_retries`) stop re-arming, which
+    /// bounds every run.
+    fn retrans_tick(&mut self, now: SimTime, host: NodeId, q: &mut EventQueue<Event>) {
+        let node = &mut self.nodes[host.0];
+        let pkts = node.stack.poll_retransmit(now);
+        if !pkts.is_empty() {
+            // Every reliable sender's data travels its primary
+            // connection (acks, the only multi-connection traffic, are
+            // never registered for retransmission).
+            let vci = node.tx_vcis[0];
+            for p in &pkts {
+                let bufs = node
+                    .stack
+                    .to_phys(&node.asp, p)
+                    .expect("translate retransmit");
+                node.pending_pkts.push_back((vci, bufs, Some(p.ctx)));
+            }
+            self.pump_tx(now, host, q);
+        }
+        self.arm_retransmit(now, host, q);
+    }
+
+    /// Receiver half of reliable mode: a 4-byte ack datagram back to
+    /// `dst_host`, enqueued like any other packet on the VCI that
+    /// reaches that host.
+    fn send_ack(
+        &mut self,
+        now: SimTime,
+        host: NodeId,
+        acked_id: u32,
+        dst_host: u16,
+        q: &mut EventQueue<Event>,
+    ) -> SimTime {
+        let node = &mut self.nodes[host.0];
+        let (pkts, t) = node
+            .stack
+            .output_ack(now, &mut node.host, &node.asp, acked_id, dst_host)
+            .expect("ack output");
+        let vci = node
+            .tx_vci_of_host
+            .get(&dst_host)
+            .copied()
+            .unwrap_or(node.tx_vcis[0]);
+        for p in &pkts {
+            let bufs = node.stack.to_phys(&node.asp, p).expect("translate ack");
+            node.pending_pkts.push_back((vci, bufs, Some(p.ctx)));
+        }
+        self.pump_tx(t, host, q);
+        t
     }
 
     /// Pushes pending packets into the transmit ring until blocked.
@@ -415,6 +502,48 @@ impl Testbed {
         if let Some(at) = out.interrupt_at {
             q.push(at, Event::RxInterrupt { host });
         }
+        // A partial PDU now exists (or may); make sure a reap sweep is
+        // scheduled one timeout from now.
+        if let Some(to) = self.cfg.reassembly_timeout {
+            if !self.reap_scheduled[host.0] {
+                self.reap_scheduled[host.0] = true;
+                q.push(now + to, Event::RxReapTick { host });
+            }
+        }
+    }
+
+    /// The reassembly-timeout sweep: reap stale partial PDUs on the
+    /// board, process the outcome like any receive event (the closer
+    /// descriptors may assert an interrupt), and re-arm while partial
+    /// state remains. A no-progress cap stops re-arming when the board
+    /// is wedged *and* idle — the next real cell arrival re-arms.
+    fn rx_reap_tick(&mut self, now: SimTime, host: NodeId, q: &mut EventQueue<Event>) {
+        const MAX_IDLE_SWEEPS: u32 = 64;
+        self.reap_scheduled[host.0] = false;
+        let Some(to) = self.cfg.reassembly_timeout else {
+            return;
+        };
+        let node = &mut self.nodes[host.0];
+        let before = node.rx.partial_pdus();
+        let out = node.rx.reap_stale(now);
+        node.note_rx_pushes(&out.pushed);
+        if let Some((gen, at)) = out.flush_deadline {
+            q.push(at, Event::RxFlush { host, gen });
+        }
+        if let Some(at) = out.interrupt_at {
+            q.push(at, Event::RxInterrupt { host });
+        }
+        let node = &self.nodes[host.0];
+        let after = node.rx.partial_pdus();
+        if after < before || !out.pushed.is_empty() {
+            self.reap_idle[host.0] = 0;
+        } else {
+            self.reap_idle[host.0] += 1;
+        }
+        if after > 0 && self.reap_idle[host.0] < MAX_IDLE_SWEEPS {
+            self.reap_scheduled[host.0] = true;
+            q.push(now + to, Event::RxReapTick { host });
+        }
     }
 
     /// Interrupt: charge the handler + thread dispatch, then schedule the
@@ -525,6 +654,22 @@ impl Testbed {
                         node.driver
                             .recycle(t2, &mut node.host, &mut node.rx, &descs);
                     }
+                    RxVerdict::Ack { descs, .. } => {
+                        // The stack already released the acked datagram.
+                        let node = &mut self.nodes[host.0];
+                        node.driver
+                            .recycle(t2, &mut node.host, &mut node.rx, &descs);
+                    }
+                    RxVerdict::Duplicate { src, id, descs } => {
+                        // Already delivered once — our ack was lost.
+                        // Suppress the duplicate but re-ack it.
+                        let t3 = {
+                            let node = &mut self.nodes[host.0];
+                            node.driver
+                                .recycle(t2, &mut node.host, &mut node.rx, &descs)
+                        };
+                        self.send_ack(t3, host, id, src, q);
+                    }
                     RxVerdict::Deliver {
                         src,
                         ctx,
@@ -548,7 +693,14 @@ impl Testbed {
                             node.driver
                                 .recycle(t2, &mut node.host, &mut node.rx, &descs)
                         };
-                        self.deliver_app(t3, host, len, Some(ctx), q);
+                        // Reliable mode: ack before the app consumes —
+                        // the sender's timer is running.
+                        let t4 = if self.cfg.reliable {
+                            self.send_ack(t3, host, ctx.pdu, src, q)
+                        } else {
+                            t3
+                        };
+                        self.deliver_app(t4, host, len, Some(ctx), q);
                     }
                 }
             }
@@ -639,7 +791,9 @@ impl Testbed {
             }
             Role::PingClient => {
                 if let Some(sent) = self.ping_sent_at.take() {
-                    self.latency.record(t.since(sent));
+                    let rtt = t.since(sent);
+                    self.latency.record(rtt);
+                    self.latency_hist.record(rtt);
                 }
                 let node = &mut self.nodes[host.0];
                 node.remaining = node.remaining.saturating_sub(1);
@@ -675,6 +829,7 @@ impl Testbed {
         let cfg_proto = ProtoConfig {
             mtu: self.cfg.mtu,
             udp_checksum: self.cfg.udp_checksum,
+            ..ProtoConfig::paper_default()
         };
         let node = &mut self.nodes[host.0];
         let id = node.gen_next_id;
@@ -788,6 +943,8 @@ impl Model for Testbed {
             Event::RxDrain { host } => format!("drain[{host}] runs"),
             Event::TxWake { host } => format!("wake[{host}] half-empty"),
             Event::GenKick => "generator kick".to_string(),
+            Event::RxReapTick { host } => format!("reap[{host}] sweep"),
+            Event::RetransTick { host } => format!("rto[{host}] tick"),
         });
         if self.timeline.is_enabled() {
             match &ev {
@@ -820,6 +977,14 @@ impl Model for Testbed {
                         .instant(&format!("node{host}.host"), "wake", now)
                 }
                 Event::GenKick => self.timeline.instant("gen", "kick", now),
+                Event::RxReapTick { host } => {
+                    self.timeline
+                        .instant(&format!("node{host}.board.rx"), "reap", now)
+                }
+                Event::RetransTick { host } => {
+                    self.timeline
+                        .instant(&format!("node{host}.host"), "rto tick", now)
+                }
             }
         }
         match ev {
@@ -849,6 +1014,8 @@ impl Model for Testbed {
                 self.pump_tx(t, host, q);
             }
             Event::GenKick => self.gen_kick(now, q),
+            Event::RxReapTick { host } => self.rx_reap_tick(now, host, q),
+            Event::RetransTick { host } => self.retrans_tick(now, host, q),
         }
     }
 }

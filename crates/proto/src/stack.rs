@@ -19,11 +19,17 @@ use osiris_host::driver::DeliveredPdu;
 use osiris_host::machine::{internet_checksum, HostMachine};
 use osiris_mem::{AddressSpace, MapError, PhysAddr, PhysBuffer, VirtAddr};
 use osiris_sim::obs::{Counter, Probe};
-use osiris_sim::{SimTime, Timeline, TraceCtx};
+use osiris_sim::{SimDuration, SimTime, Timeline, TraceCtx};
+
+use std::collections::HashSet;
 
 use crate::frag::fragment_layout;
 use crate::msg::Message;
 use crate::wire::{IpHeader, UdpHeader, IPPROTO_UDP, IP_HEADER_BYTES, UDP_HEADER_BYTES};
+
+/// The UDP port reserved for acknowledgements in reliable mode. Data
+/// traffic must not use it.
+pub const ACK_PORT: u16 = 1;
 
 /// Stack configuration.
 #[derive(Debug, Clone, Copy)]
@@ -33,15 +39,32 @@ pub struct ProtoConfig {
     pub mtu: u32,
     /// Whether UDP checksums the data (off in the latency experiments).
     pub udp_checksum: bool,
+    /// Opt-in reliable mode: every outgoing datagram is held for
+    /// acknowledgement and retransmitted with exponential backoff until
+    /// acked or [`ProtoConfig::max_retries`] is exhausted; the receiver
+    /// acks each delivered datagram on [`ACK_PORT`] and suppresses (but
+    /// re-acks) duplicates. The paper's stack is unreliable UDP — this
+    /// exists for the loss-sweep experiments.
+    pub reliable: bool,
+    /// Initial retransmission timeout (doubles per retry).
+    pub rto_initial: SimDuration,
+    /// Backoff ceiling.
+    pub rto_max: SimDuration,
+    /// Retries before a datagram is abandoned (bounds every run).
+    pub max_retries: u32,
 }
 
 impl ProtoConfig {
     /// The paper's configuration: 16 KB of data per fragment (page-aligned
-    /// MTU), checksumming off.
+    /// MTU), checksumming off, no reliability.
     pub fn paper_default() -> Self {
         ProtoConfig {
             mtu: 16 * 1024 + IP_HEADER_BYTES as u32,
             udp_checksum: false,
+            reliable: false,
+            rto_initial: SimDuration::from_ms(2),
+            rto_max: SimDuration::from_ms(64),
+            max_retries: 16,
         }
     }
 }
@@ -87,6 +110,26 @@ pub enum RxVerdict {
         /// Descriptors to recycle immediately.
         descs: Vec<Descriptor>,
     },
+    /// Reliable mode: an acknowledgement arrived and the matching pending
+    /// datagram (if any) was released.
+    Ack {
+        /// The acknowledged datagram id.
+        acked: u32,
+        /// Descriptors to recycle immediately.
+        descs: Vec<Descriptor>,
+    },
+    /// Reliable mode: a datagram that was already delivered arrived again
+    /// (its ack was lost, or a retransmission crossed the ack in flight).
+    /// The caller must re-ack it — the sender is still waiting — and
+    /// recycle the buffers without re-delivering to the application.
+    Duplicate {
+        /// Source host to re-ack.
+        src: u16,
+        /// The duplicate datagram's id.
+        id: u32,
+        /// Descriptors to recycle immediately.
+        descs: Vec<Descriptor>,
+    },
 }
 
 /// Stack counters — a point-in-time copy of the stack's registry
@@ -103,6 +146,17 @@ pub struct StackStats {
     pub frags_out: u64,
     /// Fragments absorbed.
     pub frags_in: u64,
+    /// Reliable mode: datagrams retransmitted after an RTO expiry.
+    pub retransmits: u64,
+    /// Reliable mode: acknowledgements received.
+    pub acks_received: u64,
+    /// Reliable mode: duplicate datagrams suppressed at the receiver.
+    pub dup_datagrams: u64,
+    /// Duplicate fragments discarded during IP reassembly (retransmission
+    /// overlapping a partially received datagram).
+    pub dup_frags: u64,
+    /// Reliable mode: datagrams abandoned after `max_retries`.
+    pub gave_up: u64,
 }
 
 #[derive(Debug, Default)]
@@ -111,6 +165,20 @@ struct IpReassembly {
     have: u64,
     /// (offset, data-message, descriptors), in arrival order.
     parts: Vec<(u64, Message<PhysAddr>, Vec<Descriptor>)>,
+}
+
+/// A datagram awaiting acknowledgement (reliable mode).
+#[derive(Debug)]
+struct PendingMsg {
+    /// The driver-ready packets, kept for retransmission. They reference
+    /// the application's (still-mapped) virtual buffers plus the header
+    /// slab slots written at `output` time.
+    packets: Vec<TxPacket>,
+    /// When the RTO next expires.
+    next_at: SimTime,
+    /// Current RTO (doubles per retry up to `rto_max`).
+    rto: SimDuration,
+    retries: u32,
 }
 
 /// The UDP/IP protocol engine for one host.
@@ -129,6 +197,11 @@ pub struct ProtoStack {
     /// ids are per-sender counters, so on a fan-in path (incast) two
     /// senders' datagrams may carry the same id concurrently.
     reasm: HashMap<(u16, u32), IpReassembly>,
+    /// Reliable mode: unacknowledged datagrams by id.
+    unacked: HashMap<u32, PendingMsg>,
+    /// Reliable mode: `(src, id)` pairs already handed to the application,
+    /// so retransmissions are re-acked but not re-delivered.
+    delivered_ids: HashSet<(u16, u32)>,
     stats: StackCounters,
     timeline: Timeline,
     /// Timeline track for this stack's CPU spans (`<scope>.stack`).
@@ -151,6 +224,11 @@ struct StackCounters {
     lazy_recoveries: Counter,
     frags_out: Counter,
     frags_in: Counter,
+    retransmits: Counter,
+    acks_received: Counter,
+    dup_datagrams: Counter,
+    dup_frags: Counter,
+    gave_up: Counter,
 }
 
 impl StackCounters {
@@ -162,6 +240,11 @@ impl StackCounters {
             lazy_recoveries: p.counter("lazy_recoveries"),
             frags_out: p.counter("frags_out"),
             frags_in: p.counter("frags_in"),
+            retransmits: p.counter("retransmits"),
+            acks_received: p.counter("acks_received"),
+            dup_datagrams: p.counter("dup_datagrams"),
+            dup_frags: p.counter("dup_frags"),
+            gave_up: p.counter("gave_up"),
         }
     }
 }
@@ -198,6 +281,8 @@ impl ProtoStack {
             ip_id: 1,
             src_host: 0,
             reasm: HashMap::new(),
+            unacked: HashMap::new(),
+            delivered_ids: HashSet::new(),
             stats: StackCounters::with_probe(probe),
             timeline: Timeline::default(),
             track: probe.scoped("stack").scope().to_string(),
@@ -226,6 +311,11 @@ impl ProtoStack {
             lazy_recoveries: self.stats.lazy_recoveries.get(),
             frags_out: self.stats.frags_out.get(),
             frags_in: self.stats.frags_in.get(),
+            retransmits: self.stats.retransmits.get(),
+            acks_received: self.stats.acks_received.get(),
+            dup_datagrams: self.stats.dup_datagrams.get(),
+            dup_frags: self.stats.dup_frags.get(),
+            gave_up: self.stats.gave_up.get(),
         }
     }
 
@@ -319,7 +409,84 @@ impl ProtoStack {
             }
             self.tx_span_floor = self.tx_span_floor.max(t);
         }
+        // Reliable mode: hold the datagram for acknowledgement. ACKs
+        // themselves are fire-and-forget (retransmitting the data covers
+        // a lost ack).
+        if self.cfg.reliable && dst_port != ACK_PORT {
+            self.unacked.insert(
+                id,
+                PendingMsg {
+                    packets: packets.clone(),
+                    next_at: t + self.cfg.rto_initial,
+                    rto: self.cfg.rto_initial,
+                    retries: 0,
+                },
+            );
+        }
         Ok((packets, t))
+    }
+
+    /// Builds the acknowledgement datagram for `acked_id` (reliable mode):
+    /// a normal 4-byte UDP/IP datagram addressed to [`ACK_PORT`] on the
+    /// sender, paying the usual header-build costs.
+    pub fn output_ack(
+        &mut self,
+        now: SimTime,
+        host: &mut HostMachine,
+        asp: &AddressSpace,
+        acked_id: u32,
+        dst_host: u16,
+    ) -> Result<(Vec<TxPacket>, SimTime), MapError> {
+        let va = self.slab_slot();
+        let pa = asp.translate_addr(va)?;
+        let t = host.cpu_write(now, pa, &acked_id.to_be_bytes()).finish;
+        let msg = Message::single(va, 4);
+        self.output(t, host, asp, msg, ACK_PORT, ACK_PORT, dst_host)
+    }
+
+    /// True while any datagram awaits acknowledgement (reliable mode).
+    pub fn has_unacked(&self) -> bool {
+        !self.unacked.is_empty()
+    }
+
+    /// The earliest pending RTO expiry, if any.
+    pub fn next_retransmit_at(&self) -> Option<SimTime> {
+        self.unacked.values().map(|p| p.next_at).min()
+    }
+
+    /// Collects every datagram whose RTO expired by `now` for
+    /// retransmission, doubling its backoff. Datagrams out of retries are
+    /// abandoned (counted as `gave_up`), which bounds every run. Returns
+    /// the packets to re-enqueue, in datagram-id order for determinism.
+    pub fn poll_retransmit(&mut self, now: SimTime) -> Vec<TxPacket> {
+        let mut due: Vec<u32> = self
+            .unacked
+            .iter()
+            .filter(|(_, p)| p.next_at <= now)
+            .map(|(&id, _)| id)
+            .collect();
+        due.sort_unstable();
+        let mut out = Vec::new();
+        for id in due {
+            let p = self.unacked.get_mut(&id).expect("listed above");
+            if p.retries >= self.cfg.max_retries {
+                self.unacked.remove(&id);
+                self.stats.gave_up.incr();
+                continue;
+            }
+            p.retries += 1;
+            p.rto = (p.rto + p.rto).min(self.cfg.rto_max);
+            p.next_at = now + p.rto;
+            self.stats.retransmits.incr();
+            if self.timeline.is_enabled() {
+                if let Some(pkt) = p.packets.first() {
+                    self.timeline
+                        .instant_ctx(&self.track, "proto.retransmit", pkt.ctx, now);
+                }
+            }
+            out.extend(p.packets.iter().cloned());
+        }
+        out
     }
 
     /// Translates a driver-ready packet into its physical buffer chain.
@@ -426,7 +593,40 @@ impl ProtoStack {
         // per-sender counters, so concurrent senders (incast) collide on
         // the id alone.
         let key = (ip.src, ip.id);
+
+        // Reliable mode: a datagram we already delivered is arriving again
+        // (lost ack or crossing retransmission). Re-ack, don't re-deliver.
+        if self.cfg.reliable && self.delivered_ids.contains(&key) {
+            self.stats.dup_datagrams.incr();
+            return (
+                RxVerdict::Duplicate {
+                    src: ip.src,
+                    id: ip.id,
+                    descs,
+                },
+                t,
+            );
+        }
+
         let entry = self.reasm.entry(key).or_default();
+        // A retransmission can overlap a partially received datagram;
+        // absorbing the same offset twice would inflate `have` past the
+        // real byte count and wedge the UDP length check. Discard exact
+        // duplicates.
+        if entry
+            .parts
+            .iter()
+            .any(|(off, _, _)| *off == ip.frag_off as u64)
+        {
+            self.stats.dup_frags.incr();
+            return (
+                RxVerdict::Drop {
+                    reason: "duplicate fragment",
+                    descs,
+                },
+                t,
+            );
+        }
         entry.have += frag_data_len;
         entry.parts.push((ip.frag_off as u64, data, descs));
         if !ip.more_frags {
@@ -480,6 +680,24 @@ impl ProtoStack {
             }
         }
 
+        // Reliable mode: a datagram on the ACK port carries a 4-byte
+        // acknowledged id, releasing the matching pending datagram.
+        if self.cfg.reliable && udp.dst_port == ACK_PORT {
+            let mut id_bytes = [0u8; 4];
+            let rr = host.cpu_read(t, datagram.segs()[0].addr, &mut id_bytes);
+            t = rr.grant.finish;
+            let acked = u32::from_be_bytes(id_bytes);
+            self.unacked.remove(&acked);
+            self.stats.acks_received.incr();
+            return (
+                RxVerdict::Ack {
+                    acked,
+                    descs: all_descs,
+                },
+                t,
+            );
+        }
+
         if self.cfg.udp_checksum && udp.cksum != 0 {
             let (t2, ck, stale) = self.checksum_phys(t, host, &datagram);
             t = t2;
@@ -518,6 +736,9 @@ impl ProtoStack {
         }
 
         self.stats.delivered.incr();
+        if self.cfg.reliable {
+            self.delivered_ids.insert(key);
+        }
         (
             RxVerdict::Deliver {
                 src: ip.src,
@@ -839,6 +1060,141 @@ mod tests {
             "recovery must be counted"
         );
         assert_eq!(stack.stats().dropped, 0);
+    }
+
+    fn setup_reliable() -> (HostMachine, AddressSpace, ProtoStack) {
+        let mut host = HostMachine::boot(MachineSpec::ds5000_200(), 23);
+        let mut asp = AddressSpace::new(host.spec.page_size);
+        let stack = ProtoStack::new(
+            ProtoConfig {
+                reliable: true,
+                ..ProtoConfig::paper_default()
+            },
+            &mut host,
+            &mut asp,
+        );
+        (host, asp, stack)
+    }
+
+    /// Wraps raw wire bytes as one delivered PDU at `addr`.
+    fn pdu_at(host: &mut HostMachine, bytes: &[u8], addr: u64) -> DeliveredPdu {
+        host.phys.write(PhysAddr(addr), bytes);
+        DeliveredPdu {
+            vci: osiris_atm::Vci(33),
+            bufs: vec![Descriptor::tx(
+                PhysAddr(addr),
+                bytes.len() as u32,
+                osiris_atm::Vci(33),
+                true,
+            )],
+            len: bytes.len() as u32,
+            ready_at: SimTime::ZERO,
+            ctx: None,
+        }
+    }
+
+    #[test]
+    fn reliable_output_retransmits_until_acked() {
+        let (mut host, mut asp, mut stack) = setup_reliable();
+        let data = payload(&mut host, &mut asp, &[9u8; 500]);
+        let (pkts, t) = stack
+            .output(SimTime::ZERO, &mut host, &asp, data, 5, 7, 2)
+            .unwrap();
+        assert_eq!(pkts.len(), 1);
+        let id = pkts[0].ctx.pdu;
+        assert!(stack.has_unacked());
+
+        // Before the RTO nothing is due.
+        assert!(stack.poll_retransmit(t).is_empty());
+        // After it, the same packets come back and the backoff doubles.
+        let due1 = stack.next_retransmit_at().unwrap();
+        let again = stack.poll_retransmit(due1);
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].ctx.pdu, id);
+        assert_eq!(stack.stats().retransmits, 1);
+        let due2 = stack.next_retransmit_at().unwrap();
+        assert!(due2.since(due1) > stack.cfg.rto_initial);
+
+        // An arriving ack releases the datagram.
+        let ack_wire =
+            ProtoStack::build_wire_pdus(stack.cfg, 77, ACK_PORT, ACK_PORT, &id.to_be_bytes());
+        assert_eq!(ack_wire.len(), 1);
+        let pdu = pdu_at(&mut host, &ack_wire[0], 0x50_0000);
+        let (v, _) = stack.input(due2, &mut host, &pdu);
+        match v {
+            RxVerdict::Ack { acked, .. } => assert_eq!(acked, id),
+            other => panic!("expected Ack, got {other:?}"),
+        }
+        assert!(!stack.has_unacked());
+        assert_eq!(stack.stats().acks_received, 1);
+    }
+
+    #[test]
+    fn reliable_gives_up_after_max_retries() {
+        let (mut host, mut asp, mut stack) = setup_reliable();
+        stack.cfg.max_retries = 2;
+        let data = payload(&mut host, &mut asp, &[4u8; 100]);
+        stack
+            .output(SimTime::ZERO, &mut host, &asp, data, 5, 7, 2)
+            .unwrap();
+        let mut polls = 0;
+        while let Some(at) = stack.next_retransmit_at() {
+            stack.poll_retransmit(at);
+            polls += 1;
+            assert!(polls < 10, "must terminate");
+        }
+        assert!(!stack.has_unacked());
+        assert_eq!(stack.stats().retransmits, 2);
+        assert_eq!(stack.stats().gave_up, 1);
+    }
+
+    #[test]
+    fn duplicate_datagram_is_suppressed_and_reackable() {
+        let (mut host, _asp, mut stack) = setup_reliable();
+        let data = vec![0xA1u8; 800];
+        let wire = ProtoStack::build_wire_pdus(stack.cfg, 5, 9, 40, &data);
+        assert_eq!(wire.len(), 1);
+        let pdu = pdu_at(&mut host, &wire[0], 0x60_0000);
+        let (v1, t1) = stack.input(SimTime::ZERO, &mut host, &pdu);
+        assert!(matches!(v1, RxVerdict::Deliver { .. }));
+        // The retransmission of the same datagram is not re-delivered.
+        let (v2, _) = stack.input(t1, &mut host, &pdu);
+        match v2 {
+            RxVerdict::Duplicate { src, id, .. } => {
+                assert_eq!((src, id), (1, 5));
+            }
+            other => panic!("expected Duplicate, got {other:?}"),
+        }
+        assert_eq!(stack.stats().delivered, 1);
+        assert_eq!(stack.stats().dup_datagrams, 1);
+    }
+
+    #[test]
+    fn duplicate_fragment_does_not_wedge_reassembly() {
+        let (mut host, _asp, mut stack) = setup_reliable();
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 233) as u8).collect();
+        let wire = ProtoStack::build_wire_pdus(stack.cfg, 6, 9, 41, &data);
+        assert_eq!(wire.len(), 3);
+        // Fragment 0 arrives twice (a retransmission overlapping the
+        // original), then the rest.
+        let order = [0usize, 0, 1, 2];
+        let mut t = SimTime::ZERO;
+        let mut delivered = None;
+        for (i, &fi) in order.iter().enumerate() {
+            let pdu = pdu_at(&mut host, &wire[fi], 0x70_0000 + (i as u64) * 0x10000);
+            let (v, t2) = stack.input(t, &mut host, &pdu);
+            t = t2;
+            if let RxVerdict::Deliver { data: msg, len, .. } = v {
+                let mut bytes = Vec::new();
+                for seg in msg.segs() {
+                    bytes.extend_from_slice(host.phys.read(seg.addr, seg.len as usize));
+                }
+                assert_eq!(bytes.len() as u64, len);
+                delivered = Some(bytes);
+            }
+        }
+        assert_eq!(delivered.expect("datagram completes"), data);
+        assert_eq!(stack.stats().dup_frags, 1);
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! The fault-injection plane.
+//!
+//! The paper's datapath *detects* lost and corrupted cells (AAL5-style
+//! CRC-32 trailers, length fields, bounded stripe skew — §2.3, §2.6) but
+//! the original testbed never *caused* them deterministically. A
+//! [`FaultPlan`] is a declarative, seeded description of everything that
+//! can go wrong on the wire:
+//!
+//! * per-lane cell-drop and bit-corruption probabilities,
+//! * point faults ("drop the Nth cell offered to lane L"),
+//! * lane-outage windows (a fiber goes dark for an interval), with an
+//!   optional graceful-degradation remap that carries the downed lane's
+//!   traffic over a live lane's serialization resource,
+//! * a bound on the switch's per-output queues, turning the previously
+//!   infinite queues into a drop point.
+//!
+//! The plan lives in [`crate::SimConfig`] so every harness shares one
+//! source of truth; injection happens in `atm::{stripe,switch}` through a
+//! [`FaultInjector`] built from the plan.
+//!
+//! # Determinism contract
+//!
+//! A fault decision is a pure function of `(plan, injector seed, lane,
+//! per-lane offer counter, now)`. The injector consumes one RNG draw per
+//! probabilistic check and nothing else, so two runs with the same
+//! configuration and seed inject byte-identical faults at identical
+//! virtual times — the property every regression baseline and property
+//! test in this workspace relies on.
+
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// What a point fault does to its cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointFaultKind {
+    /// The cell vanishes.
+    Drop,
+    /// One bit of the cell payload is flipped.
+    Corrupt,
+}
+
+/// A deterministic single-cell fault: "the `nth` cell offered to `lane`
+/// suffers `kind`" (counting from 0 at the start of the run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointFault {
+    /// Logical lane the fault targets.
+    pub lane: usize,
+    /// Zero-based index of the victim among all cells offered to `lane`.
+    pub nth: u64,
+    /// What happens to it.
+    pub kind: PointFaultKind,
+}
+
+/// An interval during which a lane is out of service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneOutage {
+    /// The lane that goes dark.
+    pub lane: usize,
+    /// First instant of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive).
+    pub until: SimTime,
+}
+
+impl LaneOutage {
+    /// Whether the outage covers `now`.
+    pub fn covers(&self, now: SimTime) -> bool {
+        now >= self.from && now < self.until
+    }
+}
+
+/// A seeded, declarative description of every wire-level fault a run
+/// injects. The default plan injects nothing, so configurations that
+/// never mention faults behave bit-identically to the pre-fault-plane
+/// testbed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Per-lane cell-drop probability, indexed by logical lane. Lanes
+    /// beyond the vector's length use probability 0.
+    pub lane_drop_prob: Vec<f64>,
+    /// Per-lane single-bit corruption probability, indexed by logical
+    /// lane.
+    pub lane_corrupt_prob: Vec<f64>,
+    /// Deterministic single-cell faults.
+    pub point_faults: Vec<PointFault>,
+    /// Lane-outage windows.
+    pub outages: Vec<LaneOutage>,
+    /// Graceful stripe degradation: when a lane is in an outage window,
+    /// carry its cells over the next live lane's serialization resource
+    /// instead of dropping them. Framing is untouched — the cell still
+    /// *logically* belongs to its original lane (the receiver's
+    /// reassembler keys on the logical lane), only the physical timing
+    /// moves; the remap is reported through the `cells_remapped` counter.
+    pub remap_on_outage: bool,
+    /// Bound on each switch output queue in cells; a cell that would
+    /// push a queue past the bound is dropped (`None` = unbounded, the
+    /// historical behavior).
+    pub switch_max_queue_cells: Option<u32>,
+    /// Seed mixed into each injector's RNG (on top of the per-component
+    /// seed the harness supplies).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// Whether the plan can inject anything at the striped link.
+    pub fn affects_lanes(&self) -> bool {
+        self.lane_drop_prob.iter().any(|&p| p > 0.0)
+            || self.lane_corrupt_prob.iter().any(|&p| p > 0.0)
+            || !self.point_faults.is_empty()
+            || !self.outages.is_empty()
+    }
+
+    /// A plan dropping cells uniformly on every lane with probability
+    /// `p` (the loss-sweep knob).
+    pub fn uniform_loss(p: f64, lanes: usize, seed: u64) -> Self {
+        FaultPlan {
+            lane_drop_prob: vec![p; lanes],
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// What the injector decided for one offered cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFate {
+    /// The cell passes unharmed.
+    Deliver,
+    /// The cell vanishes.
+    Drop,
+    /// Flip bit `bit` of payload byte `byte`, then deliver.
+    Corrupt {
+        /// Payload byte index to damage.
+        byte: usize,
+        /// Bit index within that byte.
+        bit: u8,
+    },
+}
+
+/// Runtime state of one component's fault injection: a forked RNG plus
+/// per-lane offer counters (the basis for point faults). One injector
+/// per striped link, seeded from the plan seed and the component seed,
+/// keeps fault streams independent across nodes while staying fully
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    /// Cells offered per logical lane so far (indexes point faults).
+    offered: Vec<u64>,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `plan`, mixing `component_seed` (e.g. the
+    /// per-node link seed) into the plan seed.
+    pub fn new(plan: &FaultPlan, component_seed: u64) -> Self {
+        let mut root = SimRng::new(plan.seed ^ component_seed.rotate_left(17));
+        FaultInjector {
+            plan: plan.clone(),
+            rng: root.fork(),
+            offered: Vec::new(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Whether `lane` is inside an outage window at `now`.
+    pub fn lane_down(&self, lane: usize, now: SimTime) -> bool {
+        self.plan
+            .outages
+            .iter()
+            .any(|o| o.lane == lane && o.covers(now))
+    }
+
+    /// The physical lane that should carry a cell logically bound for
+    /// `lane` at `now`: the lane itself when it is up; under an outage
+    /// with remap enabled, the next live lane in cyclic order (fixed for
+    /// the duration of a static outage window, so per-logical-lane cell
+    /// order is preserved); `None` when the cell cannot be carried.
+    pub fn physical_lane(&self, lane: usize, now: SimTime, lanes: usize) -> Option<usize> {
+        if !self.lane_down(lane, now) {
+            return Some(lane);
+        }
+        if !self.plan.remap_on_outage {
+            return None;
+        }
+        (1..lanes)
+            .map(|k| (lane + k) % lanes)
+            .find(|&l| !self.lane_down(l, now))
+    }
+
+    /// Decides the fate of the next cell offered to logical `lane`,
+    /// advancing that lane's offer counter. `payload_bytes` bounds the
+    /// corruption target.
+    pub fn offer(&mut self, lane: usize, payload_bytes: usize) -> CellFate {
+        if self.offered.len() <= lane {
+            self.offered.resize(lane + 1, 0);
+        }
+        let nth = self.offered[lane];
+        self.offered[lane] += 1;
+
+        if let Some(pf) = self
+            .plan
+            .point_faults
+            .iter()
+            .find(|pf| pf.lane == lane && pf.nth == nth)
+        {
+            return match pf.kind {
+                PointFaultKind::Drop => CellFate::Drop,
+                PointFaultKind::Corrupt => self.corrupt_target(payload_bytes),
+            };
+        }
+        let drop_p = self.plan.lane_drop_prob.get(lane).copied().unwrap_or(0.0);
+        if drop_p > 0.0 && self.rng.gen_bool(drop_p) {
+            return CellFate::Drop;
+        }
+        let corrupt_p = self
+            .plan
+            .lane_corrupt_prob
+            .get(lane)
+            .copied()
+            .unwrap_or(0.0);
+        if corrupt_p > 0.0 && self.rng.gen_bool(corrupt_p) {
+            return self.corrupt_target(payload_bytes);
+        }
+        CellFate::Deliver
+    }
+
+    fn corrupt_target(&mut self, payload_bytes: usize) -> CellFate {
+        CellFate::Corrupt {
+            byte: self.rng.gen_range(payload_bytes.max(1) as u64) as usize,
+            bit: self.rng.gen_range(8) as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn default_plan_injects_nothing() {
+        let plan = FaultPlan::default();
+        assert!(!plan.affects_lanes());
+        let mut inj = FaultInjector::new(&plan, 7);
+        for lane in 0..4 {
+            for _ in 0..100 {
+                assert_eq!(inj.offer(lane, 44), CellFate::Deliver);
+            }
+            assert_eq!(inj.physical_lane(lane, SimTime::from_us(3), 4), Some(lane));
+        }
+    }
+
+    #[test]
+    fn point_fault_hits_exactly_its_cell() {
+        let plan = FaultPlan {
+            point_faults: vec![PointFault {
+                lane: 2,
+                nth: 3,
+                kind: PointFaultKind::Drop,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut inj = FaultInjector::new(&plan, 0);
+        for n in 0..10 {
+            let fate = inj.offer(2, 44);
+            if n == 3 {
+                assert_eq!(fate, CellFate::Drop);
+            } else {
+                assert_eq!(fate, CellFate::Deliver);
+            }
+        }
+        // Other lanes are untouched.
+        assert_eq!(inj.offer(0, 44), CellFate::Deliver);
+    }
+
+    #[test]
+    fn probabilistic_faults_are_seed_deterministic() {
+        let plan = FaultPlan {
+            lane_drop_prob: vec![0.3; 4],
+            lane_corrupt_prob: vec![0.1; 4],
+            seed: 99,
+            ..FaultPlan::default()
+        };
+        let mut a = FaultInjector::new(&plan, 5);
+        let mut b = FaultInjector::new(&plan, 5);
+        let fa: Vec<CellFate> = (0..200).map(|i| a.offer(i % 4, 44)).collect();
+        let fb: Vec<CellFate> = (0..200).map(|i| b.offer(i % 4, 44)).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.contains(&CellFate::Drop));
+        assert!(fa.iter().any(|f| matches!(f, CellFate::Corrupt { .. })));
+    }
+
+    #[test]
+    fn outage_windows_gate_by_time() {
+        let plan = FaultPlan {
+            outages: vec![LaneOutage {
+                lane: 1,
+                from: SimTime::from_us(10),
+                until: SimTime::from_us(20),
+            }],
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(&plan, 0);
+        assert!(!inj.lane_down(1, SimTime::from_us(9)));
+        assert!(inj.lane_down(1, SimTime::from_us(10)));
+        assert!(inj.lane_down(1, SimTime::from_us(19)));
+        assert!(!inj.lane_down(1, SimTime::from_us(20)));
+        assert!(!inj.lane_down(0, SimTime::from_us(15)));
+        // No remap: the cell cannot be carried.
+        assert_eq!(inj.physical_lane(1, SimTime::from_us(15), 4), None);
+    }
+
+    #[test]
+    fn remap_picks_next_live_lane() {
+        let at = SimTime::from_us(15);
+        let window = |lane| LaneOutage {
+            lane,
+            from: SimTime::from_us(10),
+            until: SimTime::from_us(20),
+        };
+        let plan = FaultPlan {
+            outages: vec![window(1), window(2)],
+            remap_on_outage: true,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(&plan, 0);
+        // Lane 1 is down, lane 2 also down → lane 3 carries it.
+        assert_eq!(inj.physical_lane(1, at, 4), Some(3));
+        assert_eq!(inj.physical_lane(2, at, 4), Some(3));
+        assert_eq!(inj.physical_lane(0, at, 4), Some(0));
+        // All lanes down → nothing can carry the cell.
+        let dead = FaultPlan {
+            outages: (0..4).map(window).collect(),
+            remap_on_outage: true,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(&dead, 0);
+        assert_eq!(inj.physical_lane(1, at, 4), None);
+        assert_eq!(
+            inj.physical_lane(1, SimTime::from_us(20) + SimDuration::from_ps(1), 4),
+            Some(1)
+        );
+    }
+}

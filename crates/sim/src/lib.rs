@@ -23,6 +23,7 @@
 //! simulation produces bit-identical results, which the test suite relies on.
 
 pub mod event;
+pub mod faults;
 pub mod json;
 pub mod obs;
 pub mod resource;
@@ -32,6 +33,7 @@ pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use faults::{CellFate, FaultInjector, FaultPlan, LaneOutage, PointFault, PointFaultKind};
 pub use json::Json;
 pub use obs::{
     CriticalPath, HistSummary, PduPath, Probe, Registry, Snapshot, Stage, Timeline, TimelineEvent,
@@ -43,14 +45,17 @@ pub use time::{Clock, SimDuration, SimTime};
 pub use trace::Trace;
 
 /// Simulation-kernel configuration shared by harnesses: the sizing knobs
-/// of the observability machinery (everything else about a run lives in
-/// the harness's own config, e.g. `TestbedConfig`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// of the observability machinery plus the wire-level [`FaultPlan`]
+/// (everything else about a run lives in the harness's own config, e.g.
+/// `TestbedConfig`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Capacity of the human-readable [`Trace`] ring.
     pub trace_capacity: usize,
     /// Capacity of the typed [`Timeline`] event buffer.
     pub timeline_capacity: usize,
+    /// The seeded fault-injection plan (defaults to injecting nothing).
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -60,6 +65,7 @@ impl Default for SimConfig {
         SimConfig {
             trace_capacity: 4096,
             timeline_capacity: 1 << 16,
+            faults: FaultPlan::default(),
         }
     }
 }

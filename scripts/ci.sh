@@ -40,4 +40,12 @@ test -s target/bench/BENCH_fig2.json
 cargo run --release -q -p osiris-bench --bin regress -- \
   crates/bench/baselines/BENCH_fig2.json target/bench/BENCH_fig2.json --threshold 5
 
+echo "==> smoke: loss sweep + regression gate (loss --quick)"
+# Fault-plane gate: goodput under seeded cell loss must not sag and the
+# recovery tail must not grow. Same determinism argument as fig2.
+cargo run --release -q -p osiris-bench --bin loss -- --quick --bench-out target/bench/BENCH_loss.json
+test -s target/bench/BENCH_loss.json
+cargo run --release -q -p osiris-bench --bin regress -- \
+  crates/bench/baselines/BENCH_loss.json target/bench/BENCH_loss.json --threshold 5
+
 echo "CI OK"

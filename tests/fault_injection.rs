@@ -2,9 +2,12 @@
 //! reach an application, and stale caches must never corrupt a
 //! checksummed delivery.
 
+use osiris::atm::sar::ReassemblyMode;
 use osiris::config::{TestbedConfig, TouchMode};
-use osiris::sim::{SimTime, Simulation};
+use osiris::sim::faults::{LaneOutage, PointFault, PointFaultKind};
+use osiris::sim::{FaultPlan, SimDuration, SimTime, Simulation};
 use osiris::testbed::{Event, NodeId, Testbed};
+use osiris::Scenario;
 
 /// Runs a ping-pong testbed until `pings` round trips complete or the
 /// budget is exhausted; returns the finished testbed.
@@ -21,6 +24,29 @@ fn run_pings(cfg: TestbedConfig) -> Testbed {
             break;
         }
     }
+    sim.model
+}
+
+/// Like [`run_pings`], but keeps stepping after the budget completes so
+/// stragglers drain — in-flight acks, armed retransmit timers, pending
+/// reap sweeps. Buffer-conservation checks need the *quiesced* testbed:
+/// right at `done` a retransmitted PDU can still hold receive buffers.
+fn run_pings_to_quiescence(cfg: TestbedConfig) -> Testbed {
+    let tb = Testbed::new_pair(cfg);
+    let mut sim = Simulation::new(tb);
+    sim.queue
+        .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
+    loop {
+        if sim.model.done || sim.now() > SimTime::from_secs(30) {
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    // Retransmit chains terminate (ack or give-up) and reap sweeps cap
+    // themselves, so the queue provably drains.
+    sim.run_until(SimTime::from_secs(60));
     sim.model
 }
 
@@ -93,6 +119,135 @@ fn interrupt_accounting_is_conserved() {
         // would add to `taken`, but these runs never fill the ring).
         assert_eq!(asserted, taken, "asserted {asserted} vs taken {taken}");
     }
+}
+
+/// Property-style sweep: under *any* seeded [`FaultPlan`] — random
+/// drops, random bit corruption, deterministic point faults and a lane
+/// outage — reliable mode must (a) converge, (b) deliver every payload
+/// byte-exact, and (c) return every receive buffer to the free ring
+/// once the run quiesces. Plain seed loop rather than proptest: the
+/// fault streams are already pseudo-random functions of the seed.
+#[test]
+fn reliable_mode_survives_arbitrary_fault_plans() {
+    for seed in [1u64, 7, 42, 1994] {
+        let mut cfg = TestbedConfig::ds5000_200_udp();
+        cfg.msg_size = 4096;
+        cfg.messages = 8;
+        cfg.udp_checksum = true;
+        cfg.verify_data = true;
+        cfg.reliable = true;
+        cfg.reassembly_timeout = Some(SimDuration::from_us(1000));
+        cfg.sim.faults = FaultPlan {
+            lane_drop_prob: vec![1e-3; 4],
+            lane_corrupt_prob: vec![1e-3; 4],
+            point_faults: vec![
+                PointFault {
+                    lane: 0,
+                    nth: 2,
+                    kind: PointFaultKind::Drop,
+                },
+                PointFault {
+                    lane: 1,
+                    nth: 5,
+                    kind: PointFaultKind::Corrupt,
+                },
+            ],
+            outages: vec![LaneOutage {
+                lane: 2,
+                from: SimTime::from_us(500),
+                until: SimTime::from_us(1500),
+            }],
+            remap_on_outage: true,
+            switch_max_queue_cells: None,
+            seed,
+        };
+        let tb = run_pings_to_quiescence(cfg);
+        assert!(tb.done, "seed {seed}: reliable run must converge");
+        assert_eq!(
+            tb.verify_failures, 0,
+            "seed {seed}: every delivered payload must be byte-exact"
+        );
+        let hit: u64 = tb
+            .links()
+            .iter()
+            .map(|l| l.cells_dropped() + l.cells_corrupted())
+            .sum();
+        assert!(hit > 0, "seed {seed}: the fault plan must have fired");
+        for (i, n) in tb.nodes.iter().enumerate() {
+            assert_eq!(
+                n.rx.free_ring(n.driver.page).len() as usize,
+                tb.cfg.rx_buffers,
+                "seed {seed}: node {i} leaked receive buffers"
+            );
+        }
+    }
+}
+
+/// Graceful stripe degradation: a lane that goes dark mid-run is
+/// remapped onto a live neighbour, and because the stripe preserves the
+/// *logical* lane, four-way reassembly absorbs the timing shift with
+/// zero loss — no retransmission machinery needed.
+#[test]
+fn lane_outage_with_remap_degrades_gracefully() {
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 8000;
+    cfg.messages = 10;
+    cfg.reassembly = ReassemblyMode::FourWay { lanes: 4 };
+    cfg.sim.faults = FaultPlan {
+        outages: vec![LaneOutage {
+            lane: 2,
+            from: SimTime::from_us(200),
+            until: SimTime::from_us(1200),
+        }],
+        remap_on_outage: true,
+        ..FaultPlan::default()
+    };
+    let tb = run_pings(cfg);
+    assert!(tb.done, "remap must keep the connection alive");
+    assert_eq!(tb.verify_failures, 0);
+    let remapped: u64 = tb.links().iter().map(|l| l.cells_remapped()).sum();
+    assert!(remapped > 0, "the outage window must have remapped traffic");
+    let dropped: u64 = tb.links().iter().map(|l| l.cells_dropped()).sum();
+    assert_eq!(dropped, 0, "remap is loss-free");
+    for n in &tb.nodes {
+        assert_eq!(
+            n.rx.stats().pdus_crc_failed,
+            0,
+            "logical-lane remap must be invisible to reassembly"
+        );
+    }
+}
+
+/// Bounded switch output queues under fan-in: two senders overload one
+/// receiver port block, the switch sheds the overflow (counted), and
+/// reliable mode recovers every shed message.
+#[test]
+fn switch_overflow_is_counted_and_recovered() {
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 8 * 1024;
+    cfg.messages = 3; // per sender
+    cfg.reassembly = ReassemblyMode::FourWay { lanes: 4 };
+    cfg.reliable = true;
+    cfg.reassembly_timeout = Some(SimDuration::from_us(1000));
+    cfg.sim.faults.switch_max_queue_cells = Some(12);
+    let mut sim = Scenario::Incast { senders: 2 }.launch(cfg);
+    loop {
+        if sim.model.done || sim.now() > SimTime::from_secs(30) {
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    let m = &sim.model;
+    assert!(m.done, "retransmission must recover the shed messages");
+    assert_eq!(m.verify_failures, 0);
+    let snap = m.snapshot();
+    assert!(
+        snap.counter("fabric.switch.overflow_dropped") > 0,
+        "the 2:1 fan-in must overflow a 12-cell output queue"
+    );
+    assert_eq!(snap.counter("node2.stack.delivered"), 6, "2 senders x 3");
 }
 
 #[test]

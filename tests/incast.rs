@@ -62,6 +62,26 @@ fn four_sender_incast_completes_through_the_switch() {
 }
 
 #[test]
+fn fragmenting_incast_recovers_by_retransmission() {
+    // Regression: messages bigger than the IP MTU used to be rejected up
+    // front ("incast requires single-fragment messages") because the
+    // trailing short fragment loses the four-way lane race under fan-in
+    // queueing. The guard is gone: incast_throughput now turns on
+    // reliable mode and the reassembly timeout, and whatever the lane
+    // races shed is reaped and retransmitted until every datagram lands.
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 20 * 1024; // two IP fragments per message
+    cfg.messages = 3;
+    cfg.warmup = 1;
+    let r = incast_throughput(&cfg, 2);
+    assert_eq!(
+        r.delivered, 6,
+        "every fragmented message must eventually be delivered"
+    );
+    assert!(r.mbps > 0.0, "goodput must be nonzero");
+}
+
+#[test]
 fn incast_report_scales_with_senders() {
     // Single-fragment messages: four-way framing over the uncoordinated
     // switch requires every PDU to span all lanes (see incast_throughput).
