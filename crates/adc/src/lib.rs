@@ -302,10 +302,17 @@ mod tests {
             .unwrap();
         let mut link = osiris_atm::StripedLink::new(
             osiris_atm::LinkSpec::sts3c_back_to_back(),
-            osiris_atm::stripe::SkewConfig::none(),
+            &osiris_atm::stripe::SkewConfig::none(),
         );
+        let mut slab = osiris_atm::CellSlab::new();
         let out = tx
-            .service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link)
+            .service(
+                SimTime::ZERO,
+                &mut host.mem_sys,
+                &host.phys,
+                &mut link,
+                &mut slab,
+            )
             .unwrap();
         assert!(out.violation);
         assert!(out.arrivals.is_empty(), "nothing transmitted");
@@ -339,10 +346,17 @@ mod tests {
             .unwrap();
         let mut link = osiris_atm::StripedLink::new(
             osiris_atm::LinkSpec::sts3c_back_to_back(),
-            osiris_atm::stripe::SkewConfig::none(),
+            &osiris_atm::stripe::SkewConfig::none(),
         );
+        let mut slab = osiris_atm::CellSlab::new();
         let out = tx
-            .service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link)
+            .service(
+                SimTime::ZERO,
+                &mut host.mem_sys,
+                &host.phys,
+                &mut link,
+                &mut slab,
+            )
             .unwrap();
         assert!(!out.violation);
         assert_eq!(out.arrivals.len(), 3);
@@ -373,10 +387,17 @@ mod tests {
             .unwrap();
         let mut link = osiris_atm::StripedLink::new(
             osiris_atm::LinkSpec::sts3c_back_to_back(),
-            osiris_atm::stripe::SkewConfig::none(),
+            &osiris_atm::stripe::SkewConfig::none(),
         );
+        let mut slab = osiris_atm::CellSlab::new();
         let first = tx
-            .service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link)
+            .service(
+                SimTime::ZERO,
+                &mut host.mem_sys,
+                &host.phys,
+                &mut link,
+                &mut slab,
+            )
             .unwrap();
         assert_eq!(first.queue, page, "priority 7 transmits first");
     }

@@ -15,6 +15,7 @@ pub mod cell;
 pub mod crc;
 pub mod link;
 pub mod sar;
+pub mod slab;
 pub mod stripe;
 pub mod switch;
 pub mod traffic;
@@ -28,6 +29,7 @@ pub use sar::{
     CellDisposition, FramingMode, PduComplete, Reassembler, ReassemblyMode, RxError, SegmentUnit,
     Segmenter,
 };
+pub use slab::{CellRef, CellSlab};
 pub use stripe::{SkewConfig, StripedLink};
 pub use switch::{Switch, SwitchSpec};
 pub use traffic::{TrafficModel, TrafficSource};

@@ -20,6 +20,7 @@ use osiris_sim::{SimDuration, SimRng, SimTime};
 
 use crate::cell::Cell;
 use crate::link::{LinkLane, LinkSpec};
+use crate::slab::{CellRef, CellSlab};
 
 /// Skew and fault configuration for a striped link.
 #[derive(Debug, Clone)]
@@ -103,14 +104,16 @@ pub struct StripedLink {
 
 impl StripedLink {
     /// A striped link with `skew.lane_offsets.len()` lanes of `spec` each
-    /// and detached counters (standalone use).
-    pub fn new(spec: LinkSpec, skew: SkewConfig) -> Self {
+    /// and detached counters (standalone use). The config is borrowed —
+    /// the link copies out the few scalars it needs, so callers never
+    /// clone a `SkewConfig` just to build a link.
+    pub fn new(spec: LinkSpec, skew: &SkewConfig) -> Self {
         StripedLink::with_probe(spec, skew, &Probe::detached())
     }
 
     /// A striped link publishing per-lane `lane<i>.cells_sent` plus
     /// `cells_dropped` / `cells_corrupted` under `<scope>.link`.
-    pub fn with_probe(spec: LinkSpec, skew: SkewConfig, probe: &Probe) -> Self {
+    pub fn with_probe(spec: LinkSpec, skew: &SkewConfig, probe: &Probe) -> Self {
         assert!(!skew.lane_offsets.is_empty(), "need at least one lane");
         let p = probe.scoped("link");
         let lanes = skew
@@ -130,6 +133,14 @@ impl StripedLink {
             cells_corrupted: p.counter("cells_corrupted"),
             cells_remapped: p.counter("cells_remapped"),
         }
+    }
+
+    /// Replaces the jitter/fault RNG stream with one seeded by `seed`.
+    /// Lets a harness derive per-node seeds from one shared, borrowed
+    /// [`SkewConfig`] instead of cloning the config per node just to
+    /// rewrite its `seed` field.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SimRng::new(seed);
     }
 
     /// Arms the structured fault plan on this link. `component_seed`
@@ -215,6 +226,23 @@ impl StripedLink {
         Some((lane, arrival))
     }
 
+    /// Slab-handle form of [`send_cell`](Self::send_cell): the cell stays
+    /// parked in `slab` and is corrupted in place if a fault fires; a
+    /// dropped cell's slot is freed immediately so the slab recycles it.
+    pub fn send_cell_ref(
+        &mut self,
+        now: SimTime,
+        index_in_pdu: u32,
+        r: CellRef,
+        slab: &mut CellSlab,
+    ) -> Option<(usize, SimTime)> {
+        let sent = self.send_cell(now, index_in_pdu, slab.get_mut(r));
+        if sent.is_none() {
+            slab.free(r);
+        }
+        sent
+    }
+
     /// Cells dropped by fault injection.
     pub fn cells_dropped(&self) -> u64 {
         self.cells_dropped.get()
@@ -248,7 +276,7 @@ mod tests {
 
     #[test]
     fn round_robin_lane_assignment() {
-        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::none());
         for i in 0..8u32 {
             let mut c = mk_cell(i as u16);
             let (lane, _) = link.send_cell(SimTime::ZERO, i, &mut c).unwrap();
@@ -259,13 +287,13 @@ mod tests {
 
     #[test]
     fn aggregate_rate_is_622() {
-        let link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        let link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::none());
         assert_eq!(link.aggregate_rate_bps(), 4 * 155_520_000);
     }
 
     #[test]
     fn no_skew_preserves_global_order() {
-        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::none());
         let mut arrivals = Vec::new();
         for i in 0..16u32 {
             let mut c = mk_cell(i as u16);
@@ -278,7 +306,7 @@ mod tests {
 
     #[test]
     fn mux_skew_reorders_across_lanes_only() {
-        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::mux_skew(7));
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::mux_skew(7));
         let mut by_lane: Vec<Vec<SimTime>> = vec![vec![]; 4];
         let mut all: Vec<(u32, SimTime)> = Vec::new();
         for i in 0..32u32 {
@@ -300,8 +328,8 @@ mod tests {
     #[test]
     fn switch_queueing_jitter_is_deterministic_per_seed() {
         let cfg = SkewConfig::switch_queueing(9, SimDuration::from_us(20));
-        let mut a = StripedLink::new(LinkSpec::sts3c_back_to_back(), cfg.clone());
-        let mut b = StripedLink::new(LinkSpec::sts3c_back_to_back(), cfg);
+        let mut a = StripedLink::new(LinkSpec::sts3c_back_to_back(), &cfg);
+        let mut b = StripedLink::new(LinkSpec::sts3c_back_to_back(), &cfg);
         for i in 0..64u32 {
             let mut ca = mk_cell(i as u16);
             let mut cb = mk_cell(i as u16);
@@ -316,7 +344,7 @@ mod tests {
     fn drop_injection_counts() {
         let mut cfg = SkewConfig::none();
         cfg.drop_prob = 1.0;
-        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), cfg);
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &cfg);
         let mut c = mk_cell(0);
         assert!(link.send_cell(SimTime::ZERO, 0, &mut c).is_none());
         assert_eq!(link.cells_dropped(), 1);
@@ -327,7 +355,7 @@ mod tests {
     fn corruption_flips_payload() {
         let mut cfg = SkewConfig::none();
         cfg.corrupt_prob = 1.0;
-        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), cfg);
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &cfg);
         let mut c = mk_cell(3);
         let before = c.payload;
         link.send_cell(SimTime::ZERO, 0, &mut c).unwrap();
@@ -345,7 +373,7 @@ mod tests {
     #[test]
     fn fault_plan_point_drop_kills_exactly_one_cell() {
         use osiris_sim::faults::{PointFault, PointFaultKind};
-        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::none());
         link.set_fault_plan(
             &FaultPlan {
                 // The 2nd cell offered to lane 1 (= global cell index 5).
@@ -371,7 +399,7 @@ mod tests {
     #[test]
     fn outage_without_remap_drops_the_lane() {
         use osiris_sim::faults::LaneOutage;
-        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::none());
         link.set_fault_plan(
             &FaultPlan {
                 outages: vec![LaneOutage {
@@ -395,7 +423,7 @@ mod tests {
     #[test]
     fn outage_with_remap_keeps_the_logical_lane_and_loses_nothing() {
         use osiris_sim::faults::LaneOutage;
-        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::none());
         link.set_fault_plan(
             &FaultPlan {
                 outages: vec![LaneOutage {

@@ -23,6 +23,7 @@ use osiris_sim::obs::{Counter, Probe};
 use osiris_sim::{FifoResource, SimDuration, SimTime};
 
 use crate::cell::{Cell, CELL_BYTES_ON_WIRE};
+use crate::slab::{CellRef, CellSlab};
 use crate::vci::Vci;
 
 /// Switch geometry and timing.
@@ -209,6 +210,24 @@ impl Switch {
         let port = base + lane;
         assert!(port < self.spec.ports, "lane {lane} overruns port block");
         self.depart(now, port).map(|at| (port, at))
+    }
+
+    /// Slab-handle form of [`forward_on_lane`](Self::forward_on_lane):
+    /// the cell stays parked in `slab` and moves through the switch as a
+    /// handle; an unrouted or overflow-dropped cell's slot is freed
+    /// immediately so the slab recycles it.
+    pub fn forward_on_lane_ref(
+        &mut self,
+        now: SimTime,
+        r: CellRef,
+        lane: usize,
+        slab: &mut CellSlab,
+    ) -> Option<(usize, SimTime)> {
+        let out = self.forward_on_lane(now, slab.get(r), lane);
+        if out.is_none() {
+            slab.free(r);
+        }
+        out
     }
 
     /// Queues one cell on `port`'s output and returns its departure time

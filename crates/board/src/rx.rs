@@ -28,10 +28,10 @@
 use std::collections::{HashMap, HashSet};
 
 use osiris_atm::sar::{CellDisposition, Reassembler, ReassemblyMode};
-use osiris_atm::{Cell, Vci};
+use osiris_atm::{Cell, CellRef, CellSlab, Vci};
 use osiris_mem::{DataCache, MemorySystem, PhysAddr, PhysMemory};
 use osiris_sim::obs::{Counter, Probe};
-use osiris_sim::{FifoResource, SimDuration, SimTime, Timeline, TraceCtx};
+use osiris_sim::{FifoResource, SimDuration, SimTime, SymId, Timeline, TraceCtx};
 
 use crate::descriptor::{DescRing, Descriptor};
 
@@ -239,6 +239,10 @@ pub struct RxProcessor {
     timeline: Timeline,
     /// Track prefix for this processor's spans (`<scope>.rx`).
     track: String,
+    /// Interned track/name keys for hot-path span emission — no string
+    /// allocation per cell; the symbols resolve back to the exact same
+    /// strings at export time.
+    syms: RxSyms,
     /// End of the last DMA grant this processor issued — bus-wait spans
     /// are clamped to start here so same-track spans never overlap.
     last_dma_end: SimTime,
@@ -247,6 +251,30 @@ pub struct RxProcessor {
     /// one closed (the clipped head is genuine waiting, attributed to the
     /// neighbouring stages by the critical-path analyzer).
     sar_span_floor: SimTime,
+}
+
+/// Interned timeline keys for the receive hot path (see [`SymId`]).
+#[derive(Debug, Clone, Copy)]
+struct RxSyms {
+    track: SymId,
+    dma_track: SymId,
+    sar_reasm: SymId,
+    reasm_timeout: SymId,
+    bus_wait: SymId,
+    dma_rx: SymId,
+}
+
+impl RxSyms {
+    fn intern(timeline: &Timeline, track: &str) -> RxSyms {
+        RxSyms {
+            track: timeline.intern(track),
+            dma_track: timeline.intern(&format!("{track}.dma")),
+            sar_reasm: timeline.intern("sar.reasm"),
+            reasm_timeout: timeline.intern("reasm.timeout"),
+            bus_wait: timeline.intern("bus.wait"),
+            dma_rx: timeline.intern("dma.rx"),
+        }
+    }
 }
 
 impl RxProcessor {
@@ -258,6 +286,9 @@ impl RxProcessor {
 
     /// A receive processor publishing its counters under `<scope>.rx`.
     pub fn with_probe(cfg: RxConfig, layout: DpramLayout, probe: &Probe) -> Self {
+        let timeline = Timeline::default();
+        let track = probe.scoped("rx").scope().to_string();
+        let syms = RxSyms::intern(&timeline, &track);
         RxProcessor {
             cfg,
             engine: FifoResource::new("rx-80960"),
@@ -274,8 +305,9 @@ impl RxProcessor {
             pending_gen: 0,
             authorized: vec![None; QUEUE_PAGES],
             stats: RxCounters::with_probe(probe),
-            timeline: Timeline::default(),
-            track: probe.scoped("rx").scope().to_string(),
+            timeline,
+            track,
+            syms,
             last_dma_end: SimTime::ZERO,
             sar_span_floor: SimTime::ZERO,
         }
@@ -286,6 +318,7 @@ impl RxProcessor {
     /// `<scope>.rx.dma`).
     pub fn set_timeline(&mut self, timeline: &Timeline) {
         self.timeline = timeline.clone();
+        self.syms = RxSyms::intern(&self.timeline, &self.track);
     }
 
     /// The configuration in force.
@@ -383,6 +416,25 @@ impl RxProcessor {
     }
 
     /// Processes one cell arriving on `lane` at `now`.
+    /// Slab-handle entry point: consumes `r`, returning its slot to the
+    /// slab's free list after processing (cells move by [`CellRef`] on
+    /// the hot path; the payload is copied exactly once — into the host
+    /// buffer by DMA).
+    #[allow(clippy::too_many_arguments)]
+    pub fn receive_cell_ref(
+        &mut self,
+        now: SimTime,
+        lane: usize,
+        r: CellRef,
+        slab: &mut CellSlab,
+        mem: &mut MemorySystem,
+        cache: &mut DataCache,
+        phys: &mut PhysMemory,
+    ) -> RxOutcome {
+        let cell = slab.remove(r);
+        self.receive_cell(now, lane, &cell, mem, cache, phys)
+    }
+
     pub fn receive_cell(
         &mut self,
         now: SimTime,
@@ -480,8 +532,13 @@ impl RxProcessor {
                 if let Some(ctx) = state.ctx {
                     let from = state.first_at.max(self.sar_span_floor);
                     if t_pdu > from {
-                        self.timeline
-                            .span_ctx(&self.track, "sar.reasm", ctx, from, t_pdu);
+                        self.timeline.span_ctx_sym(
+                            self.syms.track,
+                            self.syms.sar_reasm,
+                            ctx,
+                            from,
+                            t_pdu,
+                        );
                     }
                     self.sar_span_floor = self.sar_span_floor.max(t_pdu);
                 }
@@ -616,7 +673,7 @@ impl RxProcessor {
             self.stats.pdus_dropped_timeout.incr();
             if let Some(c) = ctx {
                 self.timeline
-                    .instant_ctx(&self.track, "reasm.timeout", c, now);
+                    .instant_ctx_sym(self.syms.track, self.syms.reasm_timeout, c, now);
             }
         }
         out
@@ -821,14 +878,23 @@ impl RxProcessor {
             if let Some(c) = traced {
                 // Bus arbitration (clamped behind our previous grant so
                 // spans on the DMA track never overlap), then the data.
-                let track = format!("{}.dma", self.track);
                 let wait_from = t.max(self.last_dma_end);
                 if g.start > wait_from {
-                    self.timeline
-                        .span_ctx(&track, "bus.wait", c, wait_from, g.start);
+                    self.timeline.span_ctx_sym(
+                        self.syms.dma_track,
+                        self.syms.bus_wait,
+                        c,
+                        wait_from,
+                        g.start,
+                    );
                 }
-                self.timeline
-                    .span_ctx(&track, "dma.rx", c, g.start, g.finish);
+                self.timeline.span_ctx_sym(
+                    self.syms.dma_track,
+                    self.syms.dma_rx,
+                    c,
+                    g.start,
+                    g.finish,
+                );
             }
             self.last_dma_end = self.last_dma_end.max(g.finish);
             t = g.finish;

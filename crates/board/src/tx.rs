@@ -23,10 +23,10 @@
 use std::collections::{HashMap, HashSet};
 
 use osiris_atm::sar::{FramingMode, SegmentUnit, Segmenter};
-use osiris_atm::{Cell, StripedLink, Vci};
+use osiris_atm::{CellRef, CellSlab, StripedLink, Vci};
 use osiris_mem::{MemorySystem, PhysBuffer, PhysMemory};
 use osiris_sim::obs::{Counter, Probe};
-use osiris_sim::{Clock, FifoResource, SimTime, Timeline};
+use osiris_sim::{Clock, FifoResource, SimTime, SymId, Timeline};
 
 use crate::descriptor::{DescRing, Descriptor};
 use crate::dma::{plan_dma, DmaMode};
@@ -109,10 +109,13 @@ pub struct TxOutcome {
     pub vci: Vci,
     /// Data bytes transmitted.
     pub pdu_bytes: u64,
-    /// Cells that arrive at the peer: `(arrival_at_peer, lane, cell)`.
-    /// Cells the link dropped have no entry here — they are counted in
+    /// Cells that arrive at the peer: `(arrival_at_peer, lane, cell)`,
+    /// where the cell is a slab handle into the [`CellSlab`] passed to
+    /// [`TxProcessor::service`] — cells move by reference, not by clone.
+    /// Cells the link dropped have no entry here (their slots are freed
+    /// back to the slab) — they are counted in
     /// [`TxOutcome::cells_dropped`] instead.
-    pub arrivals: Vec<(SimTime, usize, Cell)>,
+    pub arrivals: Vec<(SimTime, usize, CellRef)>,
     /// Cells the link dropped in flight. The PDU still completes on the
     /// transmit side — the tail pointer advances and the host reuses the
     /// buffers (completed-with-error, never leaked); recovering the data
@@ -151,9 +154,39 @@ pub struct TxProcessor {
     timeline: Timeline,
     /// Track prefix for this processor's spans (`<scope>.tx`).
     track: String,
+    /// Interned span keys, re-interned whenever a timeline is installed,
+    /// so hot-path span emission is an array-index push — no `String`
+    /// allocation or hashing per cell.
+    syms: TxSyms,
+    /// Per-lane track symbols (`<track>.lane<i>`), grown on demand.
+    lane_tracks: Vec<SymId>,
     /// End of the last DMA grant issued — bus-wait spans are clamped
     /// behind it so same-track spans never overlap.
     last_dma_end: SimTime,
+}
+
+/// The transmit processor's interned track/name symbols.
+#[derive(Debug, Clone, Copy)]
+struct TxSyms {
+    track: SymId,
+    dma_track: SymId,
+    bus_wait: SymId,
+    dma_tx: SymId,
+    fw_tx: SymId,
+    lane_tx: SymId,
+}
+
+impl TxSyms {
+    fn intern(timeline: &Timeline, track: &str) -> TxSyms {
+        TxSyms {
+            track: timeline.intern(track),
+            dma_track: timeline.intern(&format!("{track}.dma")),
+            bus_wait: timeline.intern("bus.wait"),
+            dma_tx: timeline.intern("dma.tx"),
+            fw_tx: timeline.intern("fw.tx"),
+            lane_tx: timeline.intern("lane.tx"),
+        }
+    }
 }
 
 impl TxProcessor {
@@ -166,6 +199,9 @@ impl TxProcessor {
     /// A transmit processor publishing its counters under `<scope>.tx`.
     pub fn with_probe(cfg: TxConfig, layout: DpramLayout, probe: &Probe) -> Self {
         let p = probe.scoped("tx");
+        let timeline = Timeline::default();
+        let track = p.scope().to_string();
+        let syms = TxSyms::intern(&timeline, &track);
         TxProcessor {
             cfg,
             queues: (0..QUEUE_PAGES)
@@ -181,8 +217,10 @@ impl TxProcessor {
             cells_dropped: p.counter("cells_dropped"),
             bytes_sent: p.counter("bytes_sent"),
             wakeups: p.counter("wakeups"),
-            timeline: Timeline::default(),
-            track: p.scope().to_string(),
+            timeline,
+            track,
+            syms,
+            lane_tracks: Vec::new(),
             last_dma_end: SimTime::ZERO,
         }
     }
@@ -192,6 +230,19 @@ impl TxProcessor {
     /// `<scope>.tx.dma`, per-lane wire spans on `<scope>.tx.lane<i>`).
     pub fn set_timeline(&mut self, timeline: &Timeline) {
         self.timeline = timeline.clone();
+        self.syms = TxSyms::intern(&self.timeline, &self.track);
+        self.lane_tracks.clear();
+    }
+
+    /// The interned track symbol for `<track>.lane<lane>`, grown lazily
+    /// (lane count is a link property the processor doesn't know).
+    fn lane_track(&mut self, lane: usize) -> SymId {
+        while self.lane_tracks.len() <= lane {
+            let l = self.lane_tracks.len();
+            self.lane_tracks
+                .push(self.timeline.intern(&format!("{}.lane{l}", self.track)));
+        }
+        self.lane_tracks[lane]
     }
 
     /// The configuration in force.
@@ -270,13 +321,16 @@ impl TxProcessor {
 
     /// Services one PDU: pops the highest-priority complete chain, fetches
     /// its bytes over the host bus, segments, and hands cells to `link`.
-    /// Returns `None` when no complete chain is queued.
+    /// Outgoing cells are parked in `slab` and travel as [`CellRef`]
+    /// handles (see [`TxOutcome::arrivals`]). Returns `None` when no
+    /// complete chain is queued.
     pub fn service(
         &mut self,
         now: SimTime,
         mem: &mut MemorySystem,
         phys: &PhysMemory,
         link: &mut StripedLink,
+        slab: &mut CellSlab,
     ) -> Option<TxOutcome> {
         let q = self.pick_queue()?;
 
@@ -344,14 +398,23 @@ impl TxProcessor {
                     // Bus arbitration (clamped behind the previous grant
                     // so spans on the DMA track never overlap), then the
                     // fetch itself.
-                    let track = format!("{}.dma", self.track);
                     let wait_from = fw_cursor.max(self.last_dma_end);
                     if g.start > wait_from {
-                        self.timeline
-                            .span_ctx(&track, "bus.wait", c, wait_from, g.start);
+                        self.timeline.span_ctx_sym(
+                            self.syms.dma_track,
+                            self.syms.bus_wait,
+                            c,
+                            wait_from,
+                            g.start,
+                        );
                     }
-                    self.timeline
-                        .span_ctx(&track, "dma.tx", c, g.start, g.finish);
+                    self.timeline.span_ctx_sym(
+                        self.syms.dma_track,
+                        self.syms.dma_tx,
+                        c,
+                        g.start,
+                        g.finish,
+                    );
                 }
                 self.last_dma_end = self.last_dma_end.max(g.finish);
                 fetched += xfer.len as u64;
@@ -398,7 +461,8 @@ impl TxProcessor {
             last_finish = last_finish.max(ready);
             self.cells_sent.incr();
             cell.ctx = ctx;
-            if let Some((lane, arrival)) = link.send_cell(ready, i as u32, &mut cell) {
+            let r = slab.insert(cell);
+            if let Some((lane, arrival)) = link.send_cell_ref(ready, i as u32, r, slab) {
                 lane_win
                     .entry(lane)
                     .and_modify(|w| {
@@ -406,7 +470,7 @@ impl TxProcessor {
                         w.1 = w.1.max(arrival);
                     })
                     .or_insert((ready, arrival));
-                arrivals.push((arrival, lane, cell));
+                arrivals.push((arrival, lane, r));
             } else {
                 dropped += 1;
                 self.cells_dropped.incr();
@@ -420,18 +484,19 @@ impl TxProcessor {
             // The segmentation umbrella: per-PDU firmware work up to the
             // last cell launched. DMA and wire spans nest inside; the
             // residue is firmware cycles and fetch pipelining.
-            self.timeline
-                .span_ctx(&self.track, "fw.tx", c, pdu_grant.start, last_finish);
+            self.timeline.span_ctx_sym(
+                self.syms.track,
+                self.syms.fw_tx,
+                c,
+                pdu_grant.start,
+                last_finish,
+            );
             let mut lanes: Vec<_> = lane_win.into_iter().collect();
             lanes.sort_unstable_by_key(|&(l, _)| l);
             for (lane, (from, to)) in lanes {
-                self.timeline.span_ctx(
-                    &format!("{}.lane{lane}", self.track),
-                    "lane.tx",
-                    c,
-                    from,
-                    to,
-                );
+                let lane_track = self.lane_track(lane);
+                self.timeline
+                    .span_ctx_sym(lane_track, self.syms.lane_tx, c, from, to);
             }
         }
 
@@ -480,15 +545,15 @@ mod tests {
     use osiris_atm::LinkSpec;
     use osiris_mem::{BusSpec, PhysAddr};
 
-    fn setup() -> (TxProcessor, MemorySystem, PhysMemory, StripedLink) {
+    fn setup() -> (TxProcessor, MemorySystem, PhysMemory, StripedLink, CellSlab) {
         let tx = TxProcessor::new(TxConfig::paper_default(), DpramLayout::paper_default());
         let mem = MemorySystem::new(BusSpec::ds5000_200());
         let mut phys = PhysMemory::new(1 << 20, 4096);
         // A recognisable pattern at 0x4000.
         let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
         phys.write(PhysAddr(0x4000), &data);
-        let link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
-        (tx, mem, phys, link)
+        let link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::none());
+        (tx, mem, phys, link, CellSlab::new())
     }
 
     fn queue_pdu(tx: &mut TxProcessor, q: usize, bufs: &[(u64, u32)], vci: Vci) {
@@ -502,30 +567,30 @@ mod tests {
 
     #[test]
     fn no_work_returns_none() {
-        let (mut tx, mut mem, phys, mut link) = setup();
+        let (mut tx, mut mem, phys, mut link, mut slab) = setup();
         assert!(tx
-            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link, &mut slab)
             .is_none());
         assert!(!tx.has_work());
     }
 
     #[test]
     fn incomplete_chain_is_not_serviced() {
-        let (mut tx, mut mem, phys, mut link) = setup();
+        let (mut tx, mut mem, phys, mut link, mut slab) = setup();
         tx.queue_mut(0)
             .push(Descriptor::tx(PhysAddr(0x4000), 100, Vci(7), false))
             .unwrap();
         assert!(tx
-            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link, &mut slab)
             .is_none());
     }
 
     #[test]
     fn single_buffer_pdu_transmits_all_cells() {
-        let (mut tx, mut mem, phys, mut link) = setup();
+        let (mut tx, mut mem, phys, mut link, mut slab) = setup();
         queue_pdu(&mut tx, 0, &[(0x4000, 1000)], Vci(7));
         let out = tx
-            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link, &mut slab)
             .unwrap();
         assert_eq!(out.pdu_bytes, 1000);
         assert_eq!(out.arrivals.len(), 1000usize.div_ceil(44));
@@ -534,8 +599,8 @@ mod tests {
         assert_eq!(tx.pdus_sent(), 1);
         // Data integrity: cells carry the memory contents in order.
         let mut rebuilt = Vec::new();
-        for (_, _, c) in &out.arrivals {
-            rebuilt.extend_from_slice(c.data_bytes());
+        for &(_, _, r) in &out.arrivals {
+            rebuilt.extend_from_slice(slab.get(r).data_bytes());
         }
         assert_eq!(rebuilt.len(), 1000);
         assert_eq!(&rebuilt[..], phys.read(PhysAddr(0x4000), 1000));
@@ -543,25 +608,27 @@ mod tests {
 
     #[test]
     fn chain_of_buffers_is_one_pdu() {
-        let (mut tx, mut mem, phys, mut link) = setup();
+        let (mut tx, mut mem, phys, mut link, mut slab) = setup();
         queue_pdu(&mut tx, 0, &[(0x4000, 100), (0x5000, 60)], Vci(3));
         let out = tx
-            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link, &mut slab)
             .unwrap();
         assert_eq!(out.pdu_bytes, 160);
         // Pdu unit: 160 bytes → 4 cells (44+44+44+28), spanning buffers.
         assert_eq!(out.arrivals.len(), 4);
-        let last = &out.arrivals[3].2;
+        let last = slab.get(out.arrivals[3].2);
         assert!(last.header.last_cell);
         assert!(last.aal.eom);
     }
 
     #[test]
     fn arrivals_are_time_ordered_per_lane_and_paced_by_bus() {
-        let (mut tx, mut mem, phys, mut link) = setup();
+        let (mut tx, mut mem, phys, mut link, mut slab) = setup();
         queue_pdu(&mut tx, 0, &[(0x4000, 16 * 1024)], Vci(1));
         let t0 = SimTime::from_us(10);
-        let out = tx.service(t0, &mut mem, &phys, &mut link).unwrap();
+        let out = tx
+            .service(t0, &mut mem, &phys, &mut link, &mut slab)
+            .unwrap();
         let n = out.arrivals.len() as u64;
         assert_eq!(n, (16 * 1024u64).div_ceil(44));
         // Sustained rate can't beat the single-cell DMA ceiling (367 Mbps).
@@ -573,25 +640,25 @@ mod tests {
 
     #[test]
     fn priority_queue_wins() {
-        let (mut tx, mut mem, phys, mut link) = setup();
+        let (mut tx, mut mem, phys, mut link, mut slab) = setup();
         queue_pdu(&mut tx, 0, &[(0x4000, 44)], Vci(1));
         queue_pdu(&mut tx, 3, &[(0x5000, 44)], Vci(2));
         tx.set_priority(3, 9);
         let out = tx
-            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link, &mut slab)
             .unwrap();
         assert_eq!(out.queue, 3);
         assert_eq!(out.vci, Vci(2));
         assert!(out.more_work, "queue 0 still has a PDU");
         let out2 = tx
-            .service(out.finished_at, &mut mem, &phys, &mut link)
+            .service(out.finished_at, &mut mem, &phys, &mut link, &mut slab)
             .unwrap();
         assert_eq!(out2.queue, 0);
     }
 
     #[test]
     fn half_empty_wakeup_fires_once() {
-        let (mut tx, mut mem, phys, mut link) = setup();
+        let (mut tx, mut mem, phys, mut link, mut slab) = setup();
         // Fill queue 0 with several one-buffer PDUs, then mark host blocked.
         for _ in 0..8 {
             queue_pdu(&mut tx, 0, &[(0x4000, 44)], Vci(1));
@@ -599,7 +666,7 @@ mod tests {
         tx.set_host_waiting(0);
         let mut woke = 0;
         let mut t = SimTime::ZERO;
-        while let Some(out) = tx.service(t, &mut mem, &phys, &mut link) {
+        while let Some(out) = tx.service(t, &mut mem, &phys, &mut link, &mut slab) {
             if out.wake_host_at.is_some() {
                 woke += 1;
             }
@@ -610,16 +677,16 @@ mod tests {
 
     #[test]
     fn dropped_cells_complete_with_error_instead_of_leaking() {
-        let (mut tx, mut mem, phys, _) = setup();
+        let (mut tx, mut mem, phys, _, mut slab) = setup();
         // A link that drops every cell.
         let skew = SkewConfig {
             drop_prob: 1.0,
             ..SkewConfig::none()
         };
-        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), skew);
+        let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &skew);
         queue_pdu(&mut tx, 0, &[(0x4000, 1000)], Vci(7));
         let out = tx
-            .service(SimTime::ZERO, &mut mem, &phys, &mut link)
+            .service(SimTime::ZERO, &mut mem, &phys, &mut link, &mut slab)
             .unwrap();
         // Nothing arrives, but the PDU is still completed: the drop is
         // surfaced, the tail advances, and the queue slot is reusable.
@@ -632,28 +699,28 @@ mod tests {
         // The queue accepts and services the next PDU normally.
         queue_pdu(&mut tx, 0, &[(0x4000, 44)], Vci(7));
         let out2 = tx
-            .service(out.finished_at, &mut mem, &phys, &mut link)
+            .service(out.finished_at, &mut mem, &phys, &mut link, &mut slab)
             .unwrap();
         assert_eq!(out2.cells_dropped, 1);
     }
 
     #[test]
     fn double_cell_mode_speeds_up_fetch() {
-        let (_, mut mem_a, phys, mut link_a) = setup();
+        let (_, mut mem_a, phys, mut link_a, mut slab) = setup();
         let mut tx_a = TxProcessor::new(TxConfig::paper_default(), DpramLayout::paper_default());
         queue_pdu(&mut tx_a, 0, &[(0x4000, 16 * 1024)], Vci(1));
         let single = tx_a
-            .service(SimTime::ZERO, &mut mem_a, &phys, &mut link_a)
+            .service(SimTime::ZERO, &mut mem_a, &phys, &mut link_a, &mut slab)
             .unwrap();
 
         let mut cfg = TxConfig::paper_default();
         cfg.dma_mode = DmaMode::DoubleCell;
         let mut tx_b = TxProcessor::new(cfg, DpramLayout::paper_default());
         let mut mem_b = MemorySystem::new(BusSpec::ds5000_200());
-        let mut link_b = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        let mut link_b = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::none());
         queue_pdu(&mut tx_b, 0, &[(0x4000, 16 * 1024)], Vci(1));
         let double = tx_b
-            .service(SimTime::ZERO, &mut mem_b, &phys, &mut link_b)
+            .service(SimTime::ZERO, &mut mem_b, &phys, &mut link_b, &mut slab)
             .unwrap();
 
         assert!(

@@ -60,13 +60,13 @@ pub trait Fabric: std::fmt::Debug {
 fn build_links(cfg: &TestbedConfig, n: usize, registry: &Registry) -> Vec<StripedLink> {
     (0..n)
         .map(|i| {
-            let mut skew = cfg.skew.clone();
-            skew.seed = cfg.seed.wrapping_add(1000 + i as u64);
             let mut link = StripedLink::with_probe(
                 LinkSpec::sts3c_back_to_back(),
-                skew,
+                &cfg.skew,
                 &registry.probe(&format!("node{i}")),
             );
+            // Per-node jitter stream, derived without cloning the config.
+            link.reseed(cfg.seed.wrapping_add(1000 + i as u64));
             link.set_fault_plan(&cfg.sim.faults, 2000 + i as u64);
             link
         })

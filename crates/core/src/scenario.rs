@@ -8,14 +8,14 @@
 //! the initial events — the way every experiment starts.
 
 use osiris_adc::AdcManager;
-use osiris_atm::Vci;
+use osiris_atm::{CellSlab, Vci};
 use osiris_sim::stats::{DurationHistogram, LatencyStats, ThroughputMeter};
-use osiris_sim::{Registry, SimDuration, SimTime, Simulation, Timeline, Trace};
+use osiris_sim::{EventQueue, Registry, SimDuration, SimTime, Simulation, Timeline, Trace};
 
 use crate::config::{Layer, TestbedConfig};
 use crate::fabric::{BackToBack, Fabric, SwitchedFabric};
 use crate::node::{Endpoint, HostNode, NodeId, Role};
-use crate::testbed::{Event, Testbed};
+use crate::testbed::{Event, TbSyms, Testbed};
 
 /// A topology + workload the testbed can assemble.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -220,6 +220,11 @@ impl Scenario {
             .max(1);
         let drain_ahead_bound = nodes[0].host.mem_sys.spec.dma_write_time(max_xfer);
 
+        // The cell arena and the dispatcher's interned timeline keys.
+        let mut cells = CellSlab::new();
+        cells.attach_probe(&registry.probe("cells"));
+        let syms = TbSyms::intern(&timeline, n);
+
         let mut tb = Testbed {
             cfg,
             nodes,
@@ -233,6 +238,8 @@ impl Scenario {
             trace,
             registry,
             timeline,
+            cells,
+            syms,
             max_drain_ahead: SimDuration::ZERO,
             ping_sent_at: None,
             deliver_to_meter: false,
@@ -293,6 +300,10 @@ impl Scenario {
     pub fn launch(&self, cfg: TestbedConfig) -> Simulation<Testbed> {
         let tb = self.build(cfg);
         let mut sim = Simulation::new(tb);
+        // The config selects the queue backend (calendar by default);
+        // `(time, seq)` FIFO order is identical under either, so this
+        // can never change results.
+        sim.queue = EventQueue::with_kind(sim.model.cfg.sim.queue);
         sim.queue.attach_probe(&sim.model.registry.probe("engine"));
         match *self {
             Scenario::Pair => {

@@ -34,11 +34,13 @@ use std::collections::HashMap;
 use osiris_adc::AdcManager;
 use osiris_atm::sar::{ReassemblyMode, SegmentUnit, Segmenter};
 use osiris_atm::stripe::StripedLink;
-use osiris_atm::Cell;
+use osiris_atm::{CellRef, CellSlab};
 use osiris_host::driver::{interrupt_to_thread, DeliveredPdu, SendOutcome};
 use osiris_sim::obs::Snapshot;
 use osiris_sim::stats::{DurationHistogram, LatencyStats, ThroughputMeter};
-use osiris_sim::{EventQueue, Model, Registry, SimDuration, SimTime, Timeline, Trace, TraceCtx};
+use osiris_sim::{
+    EventQueue, Model, Registry, SimDuration, SimTime, SymId, Timeline, Trace, TraceCtx,
+};
 
 use osiris_proto::stack::{ProtoConfig, ProtoStack, RxVerdict};
 
@@ -70,8 +72,9 @@ pub enum Event {
         to: NodeId,
         /// Physical lane the cell arrived on.
         lane: usize,
-        /// The cell.
-        cell: Cell,
+        /// Slab handle of the in-flight cell ([`Testbed::cells`]); the
+        /// receive path consumes it and recycles the slot.
+        cell: CellRef,
     },
     /// Double-cell lookahead window expired on `host`.
     RxFlush {
@@ -111,6 +114,70 @@ pub enum Event {
     },
 }
 
+/// Per-node interned track keys (see [`TbSyms`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeTracks {
+    app: SymId,
+    host: SymId,
+    board_tx: SymId,
+    board_rx: SymId,
+}
+
+/// Interned timeline keys for the dispatcher's hot path. Every event
+/// dispatch emits an instant when the timeline is enabled; interning the
+/// track and name strings once up front (resolved back to the identical
+/// strings at export) keeps that emission allocation-free.
+#[derive(Debug)]
+pub(crate) struct TbSyms {
+    nodes: Vec<NodeTracks>,
+    gen: SymId,
+    send: SymId,
+    kick: SymId,
+    cell: SymId,
+    flush: SymId,
+    reap: SymId,
+    intr: SymId,
+    drain_start: SymId,
+    wake: SymId,
+    rto_tick: SymId,
+    app_send: SymId,
+    app_deliver: SymId,
+    intr_service: SymId,
+    drain: SymId,
+    intr_wait: SymId,
+}
+
+impl TbSyms {
+    /// Interns every track/name the dispatcher emits for `n` nodes.
+    pub(crate) fn intern(timeline: &Timeline, n: usize) -> TbSyms {
+        TbSyms {
+            nodes: (0..n)
+                .map(|i| NodeTracks {
+                    app: timeline.intern(&format!("node{i}.app")),
+                    host: timeline.intern(&format!("node{i}.host")),
+                    board_tx: timeline.intern(&format!("node{i}.board.tx")),
+                    board_rx: timeline.intern(&format!("node{i}.board.rx")),
+                })
+                .collect(),
+            gen: timeline.intern("gen"),
+            send: timeline.intern("send"),
+            kick: timeline.intern("kick"),
+            cell: timeline.intern("cell"),
+            flush: timeline.intern("flush"),
+            reap: timeline.intern("reap"),
+            intr: timeline.intern("intr"),
+            drain_start: timeline.intern("drain start"),
+            wake: timeline.intern("wake"),
+            rto_tick: timeline.intern("rto tick"),
+            app_send: timeline.intern("app.send"),
+            app_deliver: timeline.intern("app.deliver"),
+            intr_service: timeline.intern("intr service"),
+            drain: timeline.intern("drain"),
+            intr_wait: timeline.intern("intr.wait"),
+        }
+    }
+}
+
 /// The assembled testbed (implements [`Model`]).
 #[derive(Debug)]
 pub struct Testbed {
@@ -143,6 +210,14 @@ pub struct Testbed {
     /// Typed span/instant timeline (Chrome trace-event export); disabled
     /// by default, enable with `timeline.set_enabled(true)`.
     pub timeline: Timeline,
+    /// Slab arena every in-flight cell lives in: events and the generator
+    /// rings carry copyable [`CellRef`] handles, so a cell's 44-byte
+    /// payload is written once at segmentation and never cloned again
+    /// (`cells.slab_recycled` counts free-list reuse).
+    pub cells: CellSlab,
+    /// Interned timeline keys for the dispatcher's per-event instants and
+    /// spans (zero string allocation on the hot path).
+    pub(crate) syms: TbSyms,
     /// Largest early-visibility window any drain observed (diagnostic
     /// for the modelling note above; see `rx_drain`).
     pub max_drain_ahead: SimDuration,
@@ -286,8 +361,13 @@ impl Testbed {
                 let node = &mut self.nodes[host.0];
                 let from = now.max(node.app_span_floor);
                 if t_app > from {
-                    self.timeline
-                        .span_ctx(&format!("node{host}.app"), "app.send", c, from, t_app);
+                    self.timeline.span_ctx_sym(
+                        self.syms.nodes[host.0].app,
+                        self.syms.app_send,
+                        c,
+                        from,
+                        t_app,
+                    );
                     node.app_span_floor = t_app;
                 }
             }
@@ -392,14 +472,21 @@ impl Testbed {
     fn tx_kick(&mut self, now: SimTime, host: NodeId, q: &mut EventQueue<Event>) {
         let node = &mut self.nodes[host.0];
         let link = self.fabric.link_mut(host);
-        let Some(out) = node
-            .tx
-            .service(now, &mut node.host.mem_sys, &node.host.phys, link)
-        else {
+        let Some(out) = node.tx.service(
+            now,
+            &mut node.host.mem_sys,
+            &node.host.phys,
+            link,
+            &mut self.cells,
+        ) else {
             return;
         };
         if self.tx_meter {
-            // Transmit bench: count bytes as the board finishes them.
+            // Transmit bench: count bytes as the board finishes them. The
+            // cells vanish at the far end, so their slab slots recycle now.
+            for (_, _, r) in out.arrivals {
+                self.cells.free(r);
+            }
             if node.role == Role::Source && !out.violation {
                 self.meter.record(out.finished_at, out.pdu_bytes);
             }
@@ -408,10 +495,10 @@ impl Testbed {
             // PDU spend between leaving the sender's link and landing at
             // the destination (zero on back-to-back links).
             let mut sw_win: HashMap<(TraceCtx, usize), (SimTime, SimTime)> = HashMap::new();
-            for (at, lane, cell) in out.arrivals {
-                if let Some(d) = self.fabric.route(host, at, lane, &cell) {
+            for (at, lane, r) in out.arrivals {
+                if let Some(d) = self.fabric.route(host, at, lane, self.cells.get(r)) {
                     if self.timeline.is_enabled() && d.at > at {
-                        if let Some(c) = cell.ctx {
+                        if let Some(c) = self.cells.get(r).ctx {
                             let e = sw_win.entry((c, d.to.0)).or_insert((at, d.at));
                             e.0 = e.0.min(at);
                             e.1 = e.1.max(d.at);
@@ -422,9 +509,12 @@ impl Testbed {
                         Event::CellArrival {
                             to: d.to,
                             lane: d.lane,
-                            cell,
+                            cell: r,
                         },
                     );
+                } else {
+                    // No peer or the switch dropped it: recycle the slot.
+                    self.cells.free(r);
                 }
             }
             let mut wins: Vec<_> = sw_win.into_iter().collect();
@@ -465,20 +555,22 @@ impl Testbed {
         }
     }
 
-    /// Feeds one cell into a node's receive half.
+    /// Feeds one cell into a node's receive half, consuming its slab
+    /// handle (the slot recycles as soon as the payload is DMAed).
     fn cell_arrival(
         &mut self,
         now: SimTime,
         host: NodeId,
         lane: usize,
-        cell: &Cell,
+        r: CellRef,
         q: &mut EventQueue<Event>,
     ) {
         let node = &mut self.nodes[host.0];
-        let out = node.rx.receive_cell(
+        let out = node.rx.receive_cell_ref(
             now,
             lane,
-            cell,
+            r,
+            &mut self.cells,
             &mut node.host.mem_sys,
             &mut node.host.cache,
             &mut node.host.phys,
@@ -555,7 +647,7 @@ impl Testbed {
         let t = interrupt_to_thread(now, &mut self.nodes[host.0].host);
         if self.timeline.is_enabled() {
             self.timeline
-                .span(&format!("node{host}.host"), "intr service", now, t);
+                .span_sym(self.syms.nodes[host.0].host, self.syms.intr_service, now, t);
         }
         q.push(t, Event::RxDrain { host });
     }
@@ -596,9 +688,9 @@ impl Testbed {
             node.driver.drain_receive(now, &mut node.host, &mut node.rx)
         };
         if self.timeline.is_enabled() {
-            self.timeline.span(
-                &format!("node{host}.host"),
-                "drain",
+            self.timeline.span_sym(
+                self.syms.nodes[host.0].host,
+                self.syms.drain,
                 now,
                 drained.finished_at,
             );
@@ -613,8 +705,13 @@ impl Testbed {
                 let node = &mut self.nodes[host.0];
                 let from = pushed.max(node.intr_wait_floor);
                 if now > from {
-                    self.timeline
-                        .span_ctx(&format!("node{host}.host"), "intr.wait", c, from, now);
+                    self.timeline.span_ctx_sym(
+                        self.syms.nodes[host.0].host,
+                        self.syms.intr_wait,
+                        c,
+                        from,
+                        now,
+                    );
                     node.intr_wait_floor = now;
                 }
             }
@@ -776,8 +873,13 @@ impl Testbed {
                 let node = &mut self.nodes[host.0];
                 let from = now.max(node.app_span_floor);
                 if t > from {
-                    self.timeline
-                        .span_ctx(&format!("node{host}.app"), "app.deliver", c, from, t);
+                    self.timeline.span_ctx_sym(
+                        self.syms.nodes[host.0].app,
+                        self.syms.app_deliver,
+                        c,
+                        from,
+                        t,
+                    );
                     node.app_span_floor = t;
                 }
             }
@@ -847,19 +949,23 @@ impl Testbed {
                 // The fictitious sender addresses this host's open path.
                 let pdus = ProtoStack::build_wire_pdus(cfg_proto, id, 2000, 1000, &node.pattern);
                 for p in pdus {
-                    let mut cells = seg.segment(node.vci, &[&p]);
-                    for c in &mut cells {
+                    let cells = seg.segment(node.vci, &[&p]);
+                    let mut refs = Vec::with_capacity(cells.len());
+                    for mut c in cells {
                         c.ctx = Some(ctx);
+                        refs.push(self.cells.insert(c));
                     }
-                    node.gen_frags.push_back(cells);
+                    node.gen_frags.push_back(refs);
                 }
             }
             Layer::RawAtm => {
-                let mut cells = seg.segment(node.vci, &[&node.pattern]);
-                for c in &mut cells {
+                let cells = seg.segment(node.vci, &[&node.pattern]);
+                let mut refs = Vec::with_capacity(cells.len());
+                for mut c in cells {
                     c.ctx = Some(ctx);
+                    refs.push(self.cells.insert(c));
                 }
-                node.gen_frags.push_back(cells);
+                node.gen_frags.push_back(refs);
             }
         }
     }
@@ -900,25 +1006,29 @@ impl Testbed {
             q.push(bus_free - slack, Event::GenKick);
             return;
         }
-        let node = &mut self.nodes[host.0];
-        let frag = node.gen_frags.front().expect("non-empty");
-        let start = node.gen_pos;
-        let end = (start + BATCH).min(frag.len());
-        let batch: Vec<Cell> = frag[start..end].to_vec();
-        let frag_done = end == frag.len();
-        if frag_done {
-            node.gen_frags.pop_front();
-            node.gen_pos = 0;
-        } else {
-            node.gen_pos = end;
-        }
-        for (i, cell) in batch.iter().enumerate() {
-            let idx = start + i;
+        // Feed the batch by handle, one re-borrow per cell — `CellRef` is
+        // Copy, so nothing is cloned out of the fragment (the receive
+        // path consumes each slab slot as it processes the cell).
+        let (start, end, frag_len) = {
+            let node = &self.nodes[host.0];
+            let frag_len = node.gen_frags.front().expect("non-empty").len();
+            let start = node.gen_pos;
+            (start, (start + BATCH).min(frag_len), frag_len)
+        };
+        for idx in start..end {
+            let r = self.nodes[host.0].gen_frags.front().expect("non-empty")[idx];
             let lane = match self.cfg.reassembly {
                 ReassemblyMode::FourWay { lanes } => idx % lanes as usize,
                 _ => 0,
             };
-            self.cell_arrival(now, host, lane, cell, q);
+            self.cell_arrival(now, host, lane, r, q);
+        }
+        let node = &mut self.nodes[host.0];
+        if end == frag_len {
+            node.gen_frags.pop_front();
+            node.gen_pos = 0;
+        } else {
+            node.gen_pos = end;
         }
         let next = self.nodes[host.0].rx.engine_free_at();
         q.push(next.max(now), Event::GenKick);
@@ -932,12 +1042,15 @@ impl Model for Testbed {
         self.trace.emit(now, || match &ev {
             Event::AppSend { host } => format!("app[{host}] send"),
             Event::TxKick { host } => format!("tx[{host}] kick"),
-            Event::CellArrival { to, lane, cell } => format!(
-                "rx[{to}] cell vci={} seq={} lane={lane}{}",
-                cell.header.vci.0,
-                cell.aal.seq,
-                if cell.aal.eom { " EOM" } else { "" }
-            ),
+            Event::CellArrival { to, lane, cell } => {
+                let c = self.cells.get(*cell);
+                format!(
+                    "rx[{to}] cell vci={} seq={} lane={lane}{}",
+                    c.header.vci.0,
+                    c.aal.seq,
+                    if c.aal.eom { " EOM" } else { "" }
+                )
+            }
             Event::RxFlush { host, gen } => format!("rx[{host}] flush gen={gen}"),
             Event::RxInterrupt { host } => format!("intr[{host}] asserted"),
             Event::RxDrain { host } => format!("drain[{host}] runs"),
@@ -947,43 +1060,41 @@ impl Model for Testbed {
             Event::RetransTick { host } => format!("rto[{host}] tick"),
         });
         if self.timeline.is_enabled() {
+            let s = &self.syms;
             match &ev {
                 Event::AppSend { host } => {
-                    self.timeline
-                        .instant(&format!("node{host}.app"), "send", now)
+                    self.timeline.instant_sym(s.nodes[host.0].app, s.send, now)
                 }
                 Event::TxKick { host } => {
                     self.timeline
-                        .instant(&format!("node{host}.board.tx"), "kick", now)
+                        .instant_sym(s.nodes[host.0].board_tx, s.kick, now)
                 }
                 Event::CellArrival { to, .. } => {
                     self.timeline
-                        .instant(&format!("node{to}.board.rx"), "cell", now)
+                        .instant_sym(s.nodes[to.0].board_rx, s.cell, now)
                 }
                 Event::RxFlush { host, .. } => {
                     self.timeline
-                        .instant(&format!("node{host}.board.rx"), "flush", now)
+                        .instant_sym(s.nodes[host.0].board_rx, s.flush, now)
                 }
                 Event::RxInterrupt { host } => {
-                    self.timeline
-                        .instant(&format!("node{host}.host"), "intr", now)
+                    self.timeline.instant_sym(s.nodes[host.0].host, s.intr, now)
                 }
                 Event::RxDrain { host } => {
                     self.timeline
-                        .instant(&format!("node{host}.host"), "drain start", now)
+                        .instant_sym(s.nodes[host.0].host, s.drain_start, now)
                 }
                 Event::TxWake { host } => {
-                    self.timeline
-                        .instant(&format!("node{host}.host"), "wake", now)
+                    self.timeline.instant_sym(s.nodes[host.0].host, s.wake, now)
                 }
-                Event::GenKick => self.timeline.instant("gen", "kick", now),
+                Event::GenKick => self.timeline.instant_sym(s.gen, s.kick, now),
                 Event::RxReapTick { host } => {
                     self.timeline
-                        .instant(&format!("node{host}.board.rx"), "reap", now)
+                        .instant_sym(s.nodes[host.0].board_rx, s.reap, now)
                 }
                 Event::RetransTick { host } => {
                     self.timeline
-                        .instant(&format!("node{host}.host"), "rto tick", now)
+                        .instant_sym(s.nodes[host.0].host, s.rto_tick, now)
                 }
             }
         }
@@ -995,7 +1106,7 @@ impl Model for Testbed {
                 self.send_message(now, host, q);
             }
             Event::TxKick { host } => self.tx_kick(now, host, q),
-            Event::CellArrival { to, lane, cell } => self.cell_arrival(now, to, lane, &cell, q),
+            Event::CellArrival { to, lane, cell } => self.cell_arrival(now, to, lane, cell, q),
             Event::RxFlush { host, gen } => {
                 let node = &mut self.nodes[host.0];
                 node.rx.flush_pending(

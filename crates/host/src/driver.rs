@@ -445,7 +445,7 @@ mod tests {
     use crate::machine::MachineSpec;
     use crate::wiring::WiringMode;
     use osiris_atm::stripe::SkewConfig;
-    use osiris_atm::{LinkSpec, StripedLink};
+    use osiris_atm::{CellSlab, LinkSpec, StripedLink};
     use osiris_board::dpram::DpramLayout;
     use osiris_board::rx::RxConfig;
     use osiris_board::tx::TxConfig;
@@ -457,6 +457,7 @@ mod tests {
         rx: RxProcessor,
         drv: OsirisDriver,
         link: StripedLink,
+        slab: CellSlab,
     }
 
     fn rig() -> Rig {
@@ -471,13 +472,14 @@ mod tests {
                 mode: WiringMode::LowLevel,
             },
         );
-        let link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+        let link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::none());
         Rig {
             host,
             tx,
             rx,
             drv,
             link,
+            slab: CellSlab::new(),
         }
     }
 
@@ -519,6 +521,7 @@ mod tests {
             &mut r.host.mem_sys,
             &r.host.phys,
             &mut r.link,
+            &mut r.slab,
         );
         assert_eq!(t.unwrap().pdu_bytes, 4096);
     }
@@ -599,15 +602,17 @@ mod tests {
                 &mut r.host.mem_sys,
                 &r.host.phys,
                 &mut r.link,
+                &mut r.slab,
             )
             .expect("PDU queued");
         // Feed arrivals into the same host's rx half (loopback).
         let mut intr_at = None;
-        for (at, lane, cell) in &txo.arrivals {
-            let o = r.rx.receive_cell(
-                *at,
-                *lane,
-                cell,
+        for &(at, lane, cr) in &txo.arrivals {
+            let o = r.rx.receive_cell_ref(
+                at,
+                lane,
+                cr,
+                &mut r.slab,
                 &mut r.host.mem_sys,
                 &mut r.host.cache,
                 &mut r.host.phys,
@@ -659,13 +664,15 @@ mod tests {
                     &mut r.host.mem_sys,
                     &r.host.phys,
                     &mut r.link,
+                    &mut r.slab,
                 )
                 .unwrap();
-            for (at, lane, cell) in &txo.arrivals {
-                r.rx.receive_cell(
-                    *at,
-                    *lane,
-                    cell,
+            for &(at, lane, cr) in &txo.arrivals {
+                r.rx.receive_cell_ref(
+                    at,
+                    lane,
+                    cr,
+                    &mut r.slab,
                     &mut r.host.mem_sys,
                     &mut r.host.cache,
                     &mut r.host.phys,
@@ -707,18 +714,19 @@ mod tests {
                 &mut r.host.mem_sys,
                 &r.host.phys,
                 &mut r.link,
+                &mut r.slab,
             )
             .unwrap();
         let free_before = r.rx.free_ring(0).len();
-        for (i, (at, lane, cell)) in txo.arrivals.iter().enumerate() {
-            let mut cell = cell.clone();
+        for (i, &(at, lane, cr)) in txo.arrivals.iter().enumerate() {
             if i == 1 {
-                cell.corrupt_bit(3, 3);
+                r.slab.get_mut(cr).corrupt_bit(3, 3);
             }
-            r.rx.receive_cell(
-                *at,
-                *lane,
-                &cell,
+            r.rx.receive_cell_ref(
+                at,
+                lane,
+                cr,
+                &mut r.slab,
                 &mut r.host.mem_sys,
                 &mut r.host.cache,
                 &mut r.host.phys,

@@ -32,12 +32,12 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueKind};
 pub use faults::{CellFate, FaultInjector, FaultPlan, LaneOutage, PointFault, PointFaultKind};
 pub use json::Json;
 pub use obs::{
-    CriticalPath, HistSummary, PduPath, Probe, Registry, Snapshot, Stage, Timeline, TimelineEvent,
-    TraceCtx,
+    CriticalPath, HistSummary, PduPath, Probe, Registry, Snapshot, Stage, SymId, Timeline,
+    TimelineEvent, TraceCtx,
 };
 pub use resource::FifoResource;
 pub use rng::SimRng;
@@ -56,6 +56,11 @@ pub struct SimConfig {
     pub timeline_capacity: usize,
     /// The seeded fault-injection plan (defaults to injecting nothing).
     pub faults: FaultPlan,
+    /// Event-queue backend for the run. Both backends dispatch the
+    /// exact same `(time, seq)` order, so this knob can never change a
+    /// result — only how fast a run finishes. Defaults to the calendar
+    /// queue.
+    pub queue: QueueKind,
 }
 
 impl Default for SimConfig {
@@ -66,6 +71,7 @@ impl Default for SimConfig {
             trace_capacity: 4096,
             timeline_capacity: 1 << 16,
             faults: FaultPlan::default(),
+            queue: QueueKind::default(),
         }
     }
 }

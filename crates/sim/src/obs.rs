@@ -277,7 +277,7 @@ impl Registry {
     pub fn probe(&self, scope: &str) -> Probe {
         Probe {
             reg: self.clone(),
-            scope: scope.to_string(),
+            scope: Rc::from(scope),
         }
     }
 
@@ -335,10 +335,15 @@ impl Registry {
 }
 
 /// A handle scoped to one component's corner of the registry.
+///
+/// The scope path is a shared `Rc<str>`: cloning a probe or deriving a
+/// child never copies the path bytes, and instruments resolve their
+/// dotted key exactly once, at registration — increments afterwards are
+/// plain `Rc<Cell>` bumps with no string work at all.
 #[derive(Debug, Clone)]
 pub struct Probe {
     reg: Registry,
-    scope: String,
+    scope: Rc<str>,
 }
 
 impl Probe {
@@ -362,7 +367,7 @@ impl Probe {
     pub fn scoped(&self, sub: &str) -> Probe {
         Probe {
             reg: self.reg.clone(),
-            scope: self.join(sub),
+            scope: Rc::from(self.join(sub)),
         }
     }
 
@@ -521,12 +526,84 @@ impl TimelineEvent {
     }
 }
 
+/// An interned timeline string (a track or span name): a dense index
+/// into the timeline's symbol table. Hot paths cache `SymId`s once (at
+/// `set_timeline` / construction time) and emit spans by id — a couple
+/// of machine words copied, no `String` allocated per event. The cold
+/// export edge ([`Timeline::events`], [`Timeline::to_chrome_json`])
+/// resolves ids back to the exact same strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(u32);
+
+/// The timeline's string interner. Ids are assigned in first-intern
+/// order, so a deterministic run yields a deterministic table.
+#[derive(Debug, Default)]
+struct SymTable {
+    names: Vec<Rc<str>>,
+    lookup: std::collections::HashMap<Rc<str>, SymId>,
+}
+
+impl SymTable {
+    fn intern(&mut self, s: &str) -> SymId {
+        if let Some(&id) = self.lookup.get(s) {
+            return id;
+        }
+        let id = SymId(self.names.len() as u32);
+        let name: Rc<str> = Rc::from(s);
+        self.names.push(name.clone());
+        self.lookup.insert(name, id);
+        id
+    }
+
+    /// Lookup without inserting (queries for strings never interned
+    /// simply match nothing).
+    fn get(&self, s: &str) -> Option<SymId> {
+        self.lookup.get(s).copied()
+    }
+
+    fn resolve(&self, id: SymId) -> &str {
+        &self.names[id.0 as usize]
+    }
+}
+
+/// Internal storage form of one timeline event: strings as `SymId`s, so
+/// a record is a few plain words (`Copy`, no heap).
+#[derive(Debug, Clone, Copy)]
+struct TimelineRecord {
+    track: SymId,
+    name: SymId,
+    at: SimTime,
+    dur: Option<SimDuration>,
+    ctx: Option<TraceCtx>,
+}
+
 #[derive(Debug, Default)]
 struct TimelineInner {
     enabled: bool,
     capacity: usize,
-    events: std::collections::VecDeque<TimelineEvent>,
+    syms: SymTable,
+    events: std::collections::VecDeque<TimelineRecord>,
     dropped: Counter,
+}
+
+impl TimelineInner {
+    fn push_record(&mut self, r: TimelineRecord) {
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped.incr();
+        }
+        self.events.push_back(r);
+    }
+
+    fn resolve_event(&self, r: &TimelineRecord) -> TimelineEvent {
+        TimelineEvent {
+            track: self.syms.resolve(r.track).to_string(),
+            name: self.syms.resolve(r.name).to_string(),
+            at: r.at,
+            dur: r.dur,
+            ctx: r.ctx,
+        }
+    }
 }
 
 /// Typed spans and instants in simulated time, bounded like the trace
@@ -570,11 +647,25 @@ impl Timeline {
         self.inner.borrow().enabled
     }
 
+    /// Interns `s` into this timeline's symbol table, returning a
+    /// [`SymId`] usable with the `*_sym` emission methods. Interning is
+    /// idempotent; hot paths call this once at wiring time and keep the
+    /// id.
+    pub fn intern(&self, s: &str) -> SymId {
+        self.inner.borrow_mut().syms.intern(s)
+    }
+
     /// Records a span on `track` from `start` to `end`.
-    pub fn span(&self, track: &str, name: impl Into<String>, start: SimTime, end: SimTime) {
-        self.push(TimelineEvent {
-            track: track.to_string(),
-            name: name.into(),
+    pub fn span(&self, track: &str, name: impl AsRef<str>, start: SimTime, end: SimTime) {
+        let mut t = self.inner.borrow_mut();
+        if !t.enabled {
+            return;
+        }
+        let track = t.syms.intern(track);
+        let name = t.syms.intern(name.as_ref());
+        t.push_record(TimelineRecord {
+            track,
+            name,
             at: start,
             dur: Some(end.saturating_since(start)),
             ctx: None,
@@ -585,14 +676,20 @@ impl Timeline {
     pub fn span_ctx(
         &self,
         track: &str,
-        name: impl Into<String>,
+        name: impl AsRef<str>,
         ctx: TraceCtx,
         start: SimTime,
         end: SimTime,
     ) {
-        self.push(TimelineEvent {
-            track: track.to_string(),
-            name: name.into(),
+        let mut t = self.inner.borrow_mut();
+        if !t.enabled {
+            return;
+        }
+        let track = t.syms.intern(track);
+        let name = t.syms.intern(name.as_ref());
+        t.push_record(TimelineRecord {
+            track,
+            name,
             at: start,
             dur: Some(end.saturating_since(start)),
             ctx: Some(ctx),
@@ -600,10 +697,16 @@ impl Timeline {
     }
 
     /// Records an instant on `track` at `at`.
-    pub fn instant(&self, track: &str, name: impl Into<String>, at: SimTime) {
-        self.push(TimelineEvent {
-            track: track.to_string(),
-            name: name.into(),
+    pub fn instant(&self, track: &str, name: impl AsRef<str>, at: SimTime) {
+        let mut t = self.inner.borrow_mut();
+        if !t.enabled {
+            return;
+        }
+        let track = t.syms.intern(track);
+        let name = t.syms.intern(name.as_ref());
+        t.push_record(TimelineRecord {
+            track,
+            name,
             at,
             dur: None,
             ctx: None,
@@ -611,31 +714,97 @@ impl Timeline {
     }
 
     /// Records an instant belonging to PDU `ctx`.
-    pub fn instant_ctx(&self, track: &str, name: impl Into<String>, ctx: TraceCtx, at: SimTime) {
-        self.push(TimelineEvent {
-            track: track.to_string(),
-            name: name.into(),
+    pub fn instant_ctx(&self, track: &str, name: impl AsRef<str>, ctx: TraceCtx, at: SimTime) {
+        let mut t = self.inner.borrow_mut();
+        if !t.enabled {
+            return;
+        }
+        let track = t.syms.intern(track);
+        let name = t.syms.intern(name.as_ref());
+        t.push_record(TimelineRecord {
+            track,
+            name,
             at,
             dur: None,
             ctx: Some(ctx),
         });
     }
 
-    fn push(&self, ev: TimelineEvent) {
+    /// [`Timeline::span`] with pre-interned symbols — the hot-path form.
+    pub fn span_sym(&self, track: SymId, name: SymId, start: SimTime, end: SimTime) {
         let mut t = self.inner.borrow_mut();
         if !t.enabled {
             return;
         }
-        if t.events.len() >= t.capacity {
-            t.events.pop_front();
-            t.dropped.incr();
-        }
-        t.events.push_back(ev);
+        t.push_record(TimelineRecord {
+            track,
+            name,
+            at: start,
+            dur: Some(end.saturating_since(start)),
+            ctx: None,
+        });
     }
 
-    /// Recorded events, oldest first.
+    /// [`Timeline::span_ctx`] with pre-interned symbols.
+    pub fn span_ctx_sym(
+        &self,
+        track: SymId,
+        name: SymId,
+        ctx: TraceCtx,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        let mut t = self.inner.borrow_mut();
+        if !t.enabled {
+            return;
+        }
+        t.push_record(TimelineRecord {
+            track,
+            name,
+            at: start,
+            dur: Some(end.saturating_since(start)),
+            ctx: Some(ctx),
+        });
+    }
+
+    /// [`Timeline::instant`] with pre-interned symbols.
+    pub fn instant_sym(&self, track: SymId, name: SymId, at: SimTime) {
+        let mut t = self.inner.borrow_mut();
+        if !t.enabled {
+            return;
+        }
+        t.push_record(TimelineRecord {
+            track,
+            name,
+            at,
+            dur: None,
+            ctx: None,
+        });
+    }
+
+    /// [`Timeline::instant_ctx`] with pre-interned symbols.
+    pub fn instant_ctx_sym(&self, track: SymId, name: SymId, ctx: TraceCtx, at: SimTime) {
+        let mut t = self.inner.borrow_mut();
+        if !t.enabled {
+            return;
+        }
+        t.push_record(TimelineRecord {
+            track,
+            name,
+            at,
+            dur: None,
+            ctx: Some(ctx),
+        });
+    }
+
+    /// Recorded events, oldest first (symbols resolved back to strings).
     pub fn events(&self) -> Vec<TimelineEvent> {
-        self.inner.borrow().events.iter().cloned().collect()
+        let inner = self.inner.borrow();
+        inner
+            .events
+            .iter()
+            .map(|r| inner.resolve_event(r))
+            .collect()
     }
 
     /// Number of recorded events.
@@ -650,12 +819,12 @@ impl Timeline {
 
     /// Every event belonging to `ctx`, oldest first.
     pub fn events_for(&self, ctx: TraceCtx) -> Vec<TimelineEvent> {
-        self.inner
-            .borrow()
+        let inner = self.inner.borrow();
+        inner
             .events
             .iter()
-            .filter(|e| e.ctx == Some(ctx))
-            .cloned()
+            .filter(|r| r.ctx == Some(ctx))
+            .map(|r| inner.resolve_event(r))
             .collect()
     }
 
@@ -685,12 +854,15 @@ impl Timeline {
 
     /// All spans on `track` whose name equals `name`, oldest first.
     pub fn spans_named(&self, track: &str, name: &str) -> Vec<TimelineEvent> {
-        self.inner
-            .borrow()
+        let inner = self.inner.borrow();
+        let (Some(tid), Some(nid)) = (inner.syms.get(track), inner.syms.get(name)) else {
+            return Vec::new();
+        };
+        inner
             .events
             .iter()
-            .filter(|e| e.track == track && e.name == name)
-            .cloned()
+            .filter(|r| r.track == tid && r.name == nid)
+            .map(|r| inner.resolve_event(r))
             .collect()
     }
 
@@ -702,17 +874,19 @@ impl Timeline {
     /// followed across tracks in the viewer.
     pub fn to_chrome_json(&self) -> Json {
         let inner = self.inner.borrow();
-        let mut tracks: Vec<&str> = Vec::new();
+        // Tracks in first-appearance order, as interned ids; names are
+        // resolved only at the render edge below.
+        let mut tracks: Vec<SymId> = Vec::new();
         for ev in &inner.events {
-            if !tracks.contains(&ev.track.as_str()) {
-                tracks.push(&ev.track);
+            if !tracks.contains(&ev.track) {
+                tracks.push(ev.track);
             }
         }
         let mut events = Vec::new();
         for ev in &inner.events {
             let tid = tracks.iter().position(|t| *t == ev.track).unwrap() as i64;
             let mut obj = Json::obj()
-                .with("name", ev.name.as_str())
+                .with("name", inner.syms.resolve(ev.name))
                 .with("cat", "sim")
                 .with("ph", if ev.dur.is_some() { "X" } else { "i" })
                 .with("ts", ev.at.as_us_f64())
@@ -735,7 +909,7 @@ impl Timeline {
                     .with("ph", "M")
                     .with("pid", 0i64)
                     .with("tid", tid as i64)
-                    .with("args", Json::obj().with("name", *track)),
+                    .with("args", Json::obj().with("name", inner.syms.resolve(*track))),
             );
         }
         Json::obj()

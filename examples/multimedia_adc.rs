@@ -73,9 +73,16 @@ fn main() {
     tx.queue_mut(page)
         .push(Descriptor::tx(PhysAddr(64 * 4096), 44, Vci(80), true))
         .unwrap();
-    let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), SkewConfig::none());
+    let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &SkewConfig::none());
+    let mut slab = osiris::atm::CellSlab::new();
     let first = tx
-        .service(SimTime::ZERO, &mut host.mem_sys, &host.phys, &mut link)
+        .service(
+            SimTime::ZERO,
+            &mut host.mem_sys,
+            &host.phys,
+            &mut link,
+            &mut slab,
+        )
         .unwrap();
     println!(
         "first PDU transmitted came from queue {} (the priority-7 ADC)",
@@ -89,7 +96,7 @@ fn main() {
         .unwrap();
     let mut out = None;
     let mut t = first.finished_at;
-    while let Some(o) = tx.service(t, &mut host.mem_sys, &host.phys, &mut link) {
+    while let Some(o) = tx.service(t, &mut host.mem_sys, &host.phys, &mut link, &mut slab) {
         t = o.finished_at;
         if o.violation {
             out = Some(o);

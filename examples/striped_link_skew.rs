@@ -32,7 +32,7 @@ fn send_over(
         unit: SegmentUnit::Pdu,
     };
     let cells = seg.segment(Vci(1), &[data]);
-    let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), skew);
+    let mut link = StripedLink::new(LinkSpec::sts3c_back_to_back(), &skew);
     let mut arrivals: Vec<(osiris::sim::SimTime, usize, osiris::atm::Cell)> = Vec::new();
     for (i, mut cell) in cells.into_iter().enumerate() {
         if let Some((lane, at)) = link.send_cell(SimTime::ZERO, i as u32, &mut cell) {

@@ -48,4 +48,17 @@ test -s target/bench/BENCH_loss.json
 cargo run --release -q -p osiris-bench --bin regress -- \
   crates/bench/baselines/BENCH_loss.json target/bench/BENCH_loss.json --threshold 5
 
+echo "==> smoke: event-engine throughput gate (engine --quick)"
+# Unlike fig2/loss, these headlines are wall-clock (events/sec), so the
+# threshold is generous — the gate exists to catch order-of-magnitude
+# regressions (e.g. the calendar queue degenerating to O(n) pops), not
+# scheduler jitter. The calendar_speedup ratio is the stable signal.
+cargo run --release -q -p osiris-bench --bin engine -- --quick --bench-out target/bench/BENCH_engine.json
+test -s target/bench/BENCH_engine.json
+cargo run --release -q -p osiris-bench --bin regress -- \
+  crates/bench/baselines/BENCH_engine.json target/bench/BENCH_engine.json --threshold 50
+
+echo "==> smoke: bench harness compiles (criterion-free micro benches)"
+cargo build --release -p osiris-bench --benches
+
 echo "CI OK"
