@@ -174,6 +174,14 @@ impl Switch {
         self.lane_routes.insert(vci, base);
     }
 
+    /// The installed port-block base for `vci`, if any — the routing
+    /// *decision* without the routing *side effects*. The sharded
+    /// engine uses this to pick the owning shard of a cell in flight
+    /// before the stateful forward happens at arrival time.
+    pub fn lane_route_base(&self, vci: Vci) -> Option<usize> {
+        self.lane_routes.get(&vci).copied()
+    }
+
     /// Declares a striped port group (used by coordinated mode).
     pub fn set_group(&mut self, ports: Vec<usize>) {
         for &p in &ports {

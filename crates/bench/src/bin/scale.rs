@@ -1,0 +1,165 @@
+//! Regenerates the **scale** snapshot: how the sharded
+//! conservative-lookahead engine scales a 64-node fabric across
+//! threads, and proof that it scales *correctly* — the bench asserts
+//! the partition-invariant goodput line is byte-identical at every
+//! thread count before it reports a single number.
+//!
+//! Workload: `Scenario::ManyPairs { pairs: 32 }` — 32 independent
+//! source→sink streams through the switched fabric (64 nodes, 256
+//! switch ports). Round-robin sharding splits every source from its
+//! sink, so all payload cells cross shard boundaries: this measures
+//! the engine's synchronisation cost honestly, not an embarrassingly
+//! partitioned best case.
+//!
+//! Caveat for absolute numbers: speedup is bounded by the host's
+//! *physical* core count. On a single-core host the 4-thread point
+//! measures pure barrier/channel overhead (expect < 1×); on a 4-core
+//! host the same binary is where the ≥2× target lives. The committed
+//! baseline records the build host's behaviour and CI compares with a
+//! generous threshold, so the gate guards against regressions in the
+//! engine, not against the hardware it runs on.
+//!
+//! `--threads N` runs one thread count only (the CI smoke); `--quick`
+//! shrinks the message count; `--bench-out PATH` writes the snapshot.
+
+use std::time::Instant;
+
+use osiris::config::TestbedConfig;
+use osiris::shard::RunOutcome;
+use osiris::Scenario;
+use osiris_bench::{
+    bench_out_path, json_requested, quick_requested, BenchSnapshot, Better, ExperimentResult,
+};
+
+/// The bench workload: 32 switched source→sink pairs.
+const PAIRS: usize = 32;
+
+fn workload(quick: bool) -> TestbedConfig {
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 8 * 1024;
+    cfg.messages = if quick { 8 } else { 32 };
+    cfg.reassembly = osiris::atm::sar::ReassemblyMode::FourWay { lanes: 4 };
+    cfg
+}
+
+/// One timed run at `shards` threads. Returns the outcome and the
+/// wall-clock seconds (build + run + merge — what a user waits for).
+fn timed_run(cfg: &TestbedConfig, shards: usize) -> (RunOutcome, f64) {
+    let mut cfg = cfg.clone();
+    cfg.sim.shards = shards;
+    let t0 = Instant::now();
+    let out = Scenario::ManyPairs { pairs: PAIRS }.run(cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(out.done, "many-pairs must complete at {shards} shard(s)");
+    assert_eq!(
+        out.verify_failures, 0,
+        "payload verify at {shards} shard(s)"
+    );
+    (out, secs)
+}
+
+/// Best-of-`passes` wall-clock at one thread count (least scheduler
+/// noise), with the determinism guard applied to every pass.
+fn measure(cfg: &TestbedConfig, shards: usize, passes: usize, reference: &str) -> (f64, f64, u64) {
+    let mut best_secs = f64::INFINITY;
+    let mut pdus = 0;
+    for _ in 0..passes {
+        let (out, secs) = timed_run(cfg, shards);
+        assert_eq!(
+            out.goodput_line(),
+            reference,
+            "sharded run at {shards} thread(s) diverged from the single-threaded result"
+        );
+        pdus = out.delivered;
+        if secs < best_secs {
+            best_secs = secs;
+        }
+    }
+    (pdus as f64 / best_secs, best_secs * 1e3, pdus)
+}
+
+fn main() {
+    let quick = quick_requested();
+    let cfg = workload(quick);
+    let passes: usize = if quick { 2 } else { 3 };
+
+    // The single-threaded run is both the 1-thread data point and the
+    // byte-identity reference every other point is held to.
+    let (reference, ref_secs) = timed_run(&cfg, 1);
+    let ref_line = reference.goodput_line();
+
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        let shards: usize = args
+            .get(i + 1)
+            .expect("--threads needs a count")
+            .parse()
+            .expect("--threads takes an integer");
+        let (pps, ms, pdus) = measure(&cfg, shards, 1, &ref_line);
+        println!(
+            "{} pairs on {shards} thread(s): {pdus} PDUs in {ms:.1} ms = {pps:.0} PDUs/s \
+             (byte-identical to 1 thread)",
+            PAIRS
+        );
+        println!("  {ref_line}");
+        return;
+    }
+
+    let threads = [1usize, 2, 4];
+    let mut pps = Vec::new();
+    let mut wall = Vec::new();
+    let mut pdus_total = 0;
+    for &t in &threads {
+        let (p, ms, pdus) = if t == 1 {
+            // Reuse the reference run as one pass, then take more.
+            let (more_p, more_ms, pdus) = measure(&cfg, 1, passes.saturating_sub(1), &ref_line);
+            let one_p = pdus as f64 / ref_secs;
+            (one_p.max(more_p), (ref_secs * 1e3).min(more_ms), pdus)
+        } else {
+            measure(&cfg, t, passes, &ref_line)
+        };
+        pps.push(p);
+        wall.push(ms);
+        pdus_total = pdus;
+    }
+    let speedup = pps[2] / pps[0];
+
+    let mut r = ExperimentResult::new(
+        "scale",
+        "Sharded-engine scaling: 32 switched pairs, threads vs PDUs/s",
+        "PDUs/s",
+    );
+    let xs: Vec<u64> = threads.iter().map(|&t| t as u64).collect();
+    r.push_series("pdus_per_sec", &xs, &pps, None);
+    r.push_series("wall_ms", &xs, &wall, None);
+
+    if let Some(path) = bench_out_path() {
+        let mut snap = BenchSnapshot::new("scale");
+        snap.headline("pdus_per_sec_1t", pps[0], "PDUs/s", Better::Higher);
+        snap.headline("pdus_per_sec_2t", pps[1], "PDUs/s", Better::Higher);
+        snap.headline("pdus_per_sec_4t", pps[2], "PDUs/s", Better::Higher);
+        snap.headline("scale_speedup_4t", speedup, "x", Better::Higher);
+        snap.headline("wall_ms_1t", wall[0], "ms", Better::Lower);
+        snap.push_result(&r);
+        std::fs::write(&path, snap.to_json()).expect("write bench snapshot");
+        eprintln!("wrote {path}");
+    }
+    if json_requested() {
+        println!("{}", r.to_json());
+        return;
+    }
+    println!(
+        "sharded engine, {} switched pairs ({} PDUs), host cores: {}:",
+        PAIRS,
+        pdus_total,
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    for (i, &t) in threads.iter().enumerate() {
+        println!(
+            "  {t} thread(s): {:>9.0} PDUs/s   ({:>8.1} ms)",
+            pps[i], wall[i]
+        );
+    }
+    println!("  4-thread speedup: {speedup:.2}x (bounded by physical cores)");
+    println!("  every run byte-identical: {ref_line}");
+}

@@ -14,6 +14,7 @@
 use osiris_atm::stripe::StripedLink;
 use osiris_atm::switch::{Switch, SwitchSpec};
 use osiris_atm::{Cell, LinkSpec, Vci};
+use osiris_sim::faults::{component_seed, FaultComponent};
 use osiris_sim::{Registry, SimTime};
 
 use crate::config::TestbedConfig;
@@ -46,6 +47,20 @@ pub trait Fabric: std::fmt::Debug {
     /// `None` means the cell vanishes (no peer, or no route installed).
     fn route(&mut self, from: NodeId, at: SimTime, lane: usize, cell: &Cell) -> Option<Delivery>;
 
+    /// The destination node a cell leaving `from` would be routed to —
+    /// the pure routing decision, with none of `route`'s side effects
+    /// (no queueing, no counters). The dispatcher uses this to address
+    /// an in-flight cell to its destination's shard; the stateful
+    /// `route` then runs there, at arrival time.
+    fn peek_dest(&self, from: NodeId, cell: &Cell) -> Option<NodeId>;
+
+    /// Whether routing passes through a stateful switch. When true, the
+    /// dispatcher must call `route` in cell-*arrival* order (the order
+    /// the hardware's output queues see), not in transmit-batch order.
+    fn is_switched(&self) -> bool {
+        false
+    }
+
     /// The switch in the middle, if this fabric has one.
     fn switch_mut(&mut self) -> Option<&mut Switch> {
         None
@@ -67,7 +82,10 @@ fn build_links(cfg: &TestbedConfig, n: usize, registry: &Registry) -> Vec<Stripe
             );
             // Per-node jitter stream, derived without cloning the config.
             link.reseed(cfg.seed.wrapping_add(1000 + i as u64));
-            link.set_fault_plan(&cfg.sim.faults, 2000 + i as u64);
+            // The fault seed comes from the pure (node, component)
+            // derivation, never from wiring or insertion order, so no
+            // fabric partitioning can perturb a node's fault stream.
+            link.set_fault_plan(&cfg.sim.faults, component_seed(i, FaultComponent::LinkTx));
             link
         })
         .collect()
@@ -108,6 +126,10 @@ impl Fabric for BackToBack {
             lane,
             at,
         })
+    }
+
+    fn peek_dest(&self, from: NodeId, _cell: &Cell) -> Option<NodeId> {
+        (self.links.len() == 2).then_some(NodeId(1 - from.0))
     }
 }
 
@@ -172,6 +194,18 @@ impl Fabric for SwitchedFabric {
                 lane: port % self.lanes,
                 at: departure,
             })
+    }
+
+    fn peek_dest(&self, _from: NodeId, cell: &Cell) -> Option<NodeId> {
+        // The port block base is to.0 * lanes, so the base alone names
+        // the destination node regardless of which lane the cell rides.
+        self.switch
+            .lane_route_base(cell.header.vci)
+            .map(|base| NodeId(base / self.lanes))
+    }
+
+    fn is_switched(&self) -> bool {
+        true
     }
 
     fn switch_mut(&mut self) -> Option<&mut Switch> {

@@ -44,6 +44,7 @@ pub mod fabric;
 pub mod node;
 pub mod report;
 pub mod scenario;
+pub mod shard;
 pub mod testbed;
 
 pub use config::{DataPath, Layer, TestbedConfig};
@@ -54,6 +55,7 @@ pub use experiments::{
 pub use fabric::{BackToBack, Delivery, Fabric, SwitchedFabric};
 pub use node::{HostNode, NodeId, Role};
 pub use scenario::Scenario;
+pub use shard::{RunOutcome, ShardStats};
 pub use testbed::Testbed;
 
 // Re-export the substrate crates so downstream users need one dependency.

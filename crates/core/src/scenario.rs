@@ -40,6 +40,15 @@ pub enum Scenario {
         /// Number of receiving nodes (the source is one more node).
         receivers: usize,
     },
+    /// `pairs` independent source→sink streams through the switched
+    /// fabric: node `2k` streams `cfg.messages` messages at node
+    /// `2k+1`. The embarrassingly-parallel counterpart to `Incast` —
+    /// every stream owns its own receiver, so this is the workload the
+    /// sharded engine's `scale` bench uses to measure speedup.
+    ManyPairs {
+        /// Number of source→sink pairs (the fabric has `2 * pairs` nodes).
+        pairs: usize,
+    },
 }
 
 impl Scenario {
@@ -50,6 +59,7 @@ impl Scenario {
             Scenario::RxBench | Scenario::TxBench => 1,
             Scenario::Incast { senders } => senders + 1,
             Scenario::FanOut { receivers } => receivers + 1,
+            Scenario::ManyPairs { pairs } => 2 * pairs,
         }
     }
 
@@ -140,6 +150,35 @@ impl Scenario {
                 }
                 eps
             }
+            Scenario::ManyPairs { pairs } => (0..2 * pairs)
+                .map(|i| {
+                    // Pair k: forward data on VCI 100+2k (source 2k →
+                    // sink 2k+1), reverse (reliable-mode acks) on VCI
+                    // 101+2k. Each node binds its receive VCI; ports
+                    // are per-node, so 1000/2000 recur across pairs.
+                    let k = i / 2;
+                    let (fwd, rev) = (Vci(100 + 2 * k as u16), Vci(101 + 2 * k as u16));
+                    if i % 2 == 0 {
+                        vec![Endpoint {
+                            tx_vci: fwd,
+                            rx_vci: rev,
+                            local_port: 1000,
+                            remote_port: 2000,
+                            remote_host: (i + 1) as u16,
+                            src: NodeId(i + 1),
+                        }]
+                    } else {
+                        vec![Endpoint {
+                            tx_vci: rev,
+                            rx_vci: fwd,
+                            local_port: 2000,
+                            remote_port: 1000,
+                            remote_host: (i - 1) as u16,
+                            src: NodeId(i - 1),
+                        }]
+                    }
+                })
+                .collect(),
         }
     }
 
@@ -156,6 +195,7 @@ impl Scenario {
                      path binding is per-connection (use RawAtm)"
                 );
             }
+            Scenario::ManyPairs { pairs } => assert!(pairs >= 1, "many-pairs needs a pair"),
             _ => {}
         }
         let n = self.node_count();
@@ -178,8 +218,10 @@ impl Scenario {
 
         // The fabric: back-to-back links by default; a switch when the
         // scenario (or the config, for pairs) asks for one.
-        let switched = matches!(self, Scenario::Incast { .. } | Scenario::FanOut { .. })
-            || (cfg.switched_fabric && *self == Scenario::Pair);
+        let switched = matches!(
+            self,
+            Scenario::Incast { .. } | Scenario::FanOut { .. } | Scenario::ManyPairs { .. }
+        ) || (cfg.switched_fabric && *self == Scenario::Pair);
         let fabric: Box<dyn Fabric> = if switched {
             let mut f = SwitchedFabric::new(&cfg, &registry, n);
             // Each connection's VCI routes to the node that binds it.
@@ -199,6 +241,12 @@ impl Scenario {
                 Scenario::FanOut { receivers } => {
                     for j in 1..=receivers {
                         f.connect(Vci(100 + j as u16), NodeId(j));
+                    }
+                }
+                Scenario::ManyPairs { pairs } => {
+                    for k in 0..pairs {
+                        f.connect(Vci(100 + 2 * k as u16), NodeId(2 * k + 1));
+                        f.connect(Vci(101 + 2 * k as u16), NodeId(2 * k));
                     }
                 }
                 Scenario::RxBench | Scenario::TxBench => {}
@@ -290,8 +338,48 @@ impl Scenario {
                 tb.deliver_to_meter = true;
                 tb.expected_deliveries = tb.cfg.messages;
             }
+            Scenario::ManyPairs { pairs } => {
+                for k in 0..pairs {
+                    tb.nodes[2 * k].role = Role::Source;
+                    tb.nodes[2 * k].remaining = tb.cfg.messages;
+                    tb.nodes[2 * k + 1].role = Role::Sink;
+                }
+                tb.deliver_to_meter = true;
+                tb.expected_deliveries = pairs as u64 * tb.cfg.messages;
+            }
         }
         tb
+    }
+
+    /// The scenario's initial events at time zero, in seeding order,
+    /// with each event tagged by the node it drives. Performs the
+    /// budget side effects (a seeded `AppSend` is message 1), so call
+    /// it exactly once per built testbed. Shared by the sequential
+    /// launch path and the per-shard replicas of the parallel engine —
+    /// both must seed identically for the runs to match.
+    pub(crate) fn seed_events(&self, tb: &mut Testbed) -> Vec<(NodeId, Event)> {
+        match *self {
+            Scenario::Pair => vec![(NodeId(0), Event::AppSend { host: NodeId(0) })],
+            Scenario::RxBench => vec![(NodeId(0), Event::GenKick)],
+            Scenario::TxBench | Scenario::FanOut { .. } => {
+                // The seeded AppSend is message 1.
+                tb.nodes[0].decrement_remaining();
+                vec![(NodeId(0), Event::AppSend { host: NodeId(0) })]
+            }
+            Scenario::Incast { senders } => (0..senders)
+                .map(|s| {
+                    tb.nodes[s].decrement_remaining();
+                    (NodeId(s), Event::AppSend { host: NodeId(s) })
+                })
+                .collect(),
+            Scenario::ManyPairs { pairs } => (0..pairs)
+                .map(|k| {
+                    let src = NodeId(2 * k);
+                    tb.nodes[src.0].decrement_remaining();
+                    (src, Event::AppSend { host: src })
+                })
+                .collect(),
+        }
     }
 
     /// Builds the testbed, wraps it in a simulation, attaches the
@@ -305,29 +393,21 @@ impl Scenario {
         // can never change results.
         sim.queue = EventQueue::with_kind(sim.model.cfg.sim.queue);
         sim.queue.attach_probe(&sim.model.registry.probe("engine"));
-        match *self {
-            Scenario::Pair => {
-                sim.queue
-                    .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
-            }
-            Scenario::RxBench => {
-                sim.queue.push(SimTime::ZERO, Event::GenKick);
-            }
-            Scenario::TxBench | Scenario::FanOut { .. } => {
-                sim.queue
-                    .push(SimTime::ZERO, Event::AppSend { host: NodeId(0) });
-                // The seeded AppSend is message 1.
-                sim.model.nodes[0].decrement_remaining();
-            }
-            Scenario::Incast { senders } => {
-                for s in 0..senders {
-                    sim.queue
-                        .push(SimTime::ZERO, Event::AppSend { host: NodeId(s) });
-                    sim.model.nodes[s].decrement_remaining();
-                }
-            }
+        for (_owner, ev) in self.seed_events(&mut sim.model) {
+            sim.queue.push(SimTime::ZERO, ev);
         }
         sim
+    }
+
+    /// Runs the scenario to event-queue exhaustion under
+    /// `cfg.sim.shards` shards and returns the merged outcome:
+    /// `shards <= 1` is exactly [`Scenario::launch`] +
+    /// `run_to_completion` (the historical engine, untouched);
+    /// `shards >= 2` runs the conservative-lookahead parallel engine
+    /// (see [`crate::shard`]), which produces byte-identical semantic
+    /// snapshots by construction and by test.
+    pub fn run(&self, cfg: TestbedConfig) -> crate::shard::RunOutcome {
+        crate::shard::run_scenario(*self, cfg)
     }
 }
 

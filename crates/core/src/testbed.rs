@@ -98,6 +98,26 @@ pub enum Event {
         /// Node address.
         host: NodeId,
     },
+    /// A cell in flight toward the switched fabric: it left `from`'s
+    /// link and reaches the switch input at this event's timestamp.
+    /// Routing — and therefore output-queue contention — happens here,
+    /// in cell-*arrival* order, the order the hardware's output queues
+    /// see. Only switched fabrics schedule this event; back-to-back
+    /// links route inline at transmit time (stateless, so order cannot
+    /// matter there).
+    FabricTransit {
+        /// Transmitting node.
+        from: NodeId,
+        /// Destination node (owner of the contended port block; the
+        /// sharded engine dispatches the event on its shard). For a
+        /// cell with no installed route this is `from` — the drop is
+        /// counted wherever the sender lives.
+        to: NodeId,
+        /// Physical lane the cell rides.
+        lane: usize,
+        /// Slab handle of the in-flight cell.
+        cell: CellRef,
+    },
     /// The fictitious-PDU generator's next step (receive benches).
     GenKick,
     /// The reassembly-timeout sweep on `host`'s receive board runs
@@ -112,6 +132,27 @@ pub enum Event {
         /// Node address.
         host: NodeId,
     },
+}
+
+impl Event {
+    /// The node whose private state this event's handler mutates — the
+    /// shard that must dispatch it under the parallel engine. `GenKick`
+    /// drives node 0's generator (see `Testbed::gen_kick`).
+    pub fn owner(&self) -> NodeId {
+        match *self {
+            Event::AppSend { host }
+            | Event::TxKick { host }
+            | Event::RxFlush { host, .. }
+            | Event::RxInterrupt { host }
+            | Event::RxDrain { host }
+            | Event::TxWake { host }
+            | Event::RxReapTick { host }
+            | Event::RetransTick { host } => host,
+            Event::CellArrival { to, .. } => to,
+            Event::FabricTransit { to, .. } => to,
+            Event::GenKick => NodeId(0),
+        }
+    }
 }
 
 /// Per-node interned track keys (see [`TbSyms`]).
@@ -131,6 +172,8 @@ pub(crate) struct NodeTracks {
 pub(crate) struct TbSyms {
     nodes: Vec<NodeTracks>,
     gen: SymId,
+    fabric: SymId,
+    transit: SymId,
     send: SymId,
     kick: SymId,
     cell: SymId,
@@ -160,6 +203,8 @@ impl TbSyms {
                 })
                 .collect(),
             gen: timeline.intern("gen"),
+            fabric: timeline.intern("fabric.switch"),
+            transit: timeline.intern("transit"),
             send: timeline.intern("send"),
             kick: timeline.intern("kick"),
             cell: timeline.intern("cell"),
@@ -490,20 +535,36 @@ impl Testbed {
             if node.role == Role::Source && !out.violation {
                 self.meter.record(out.finished_at, out.pdu_bytes);
             }
+        } else if self.fabric.is_switched() {
+            // Switched fabric: routing is an *event* at the cell's
+            // wire-arrival time, not a call at transmit-kick time. The
+            // switch's output queues then contend in arrival order —
+            // the order the hardware sees — rather than in the order
+            // transmit batches happen to finish, and the contention
+            // resolves on the shard owning the destination's port block.
+            for (at, lane, r) in out.arrivals {
+                let to = self
+                    .fabric
+                    .peek_dest(host, self.cells.get(r))
+                    // No route installed: dispatch (and count the drop)
+                    // on the sender's own shard.
+                    .unwrap_or(host);
+                q.push(
+                    at,
+                    Event::FabricTransit {
+                        from: host,
+                        to,
+                        lane,
+                        cell: r,
+                    },
+                );
+            }
         } else {
-            // Per-PDU switch-queueing windows: time cells of one traced
-            // PDU spend between leaving the sender's link and landing at
-            // the destination (zero on back-to-back links).
-            let mut sw_win: HashMap<(TraceCtx, usize), (SimTime, SimTime)> = HashMap::new();
+            // Back-to-back links: routing is stateless (a fixed peer, no
+            // queues), so the inline call order cannot matter and the
+            // historical transmit-time routing is kept byte-for-byte.
             for (at, lane, r) in out.arrivals {
                 if let Some(d) = self.fabric.route(host, at, lane, self.cells.get(r)) {
-                    if self.timeline.is_enabled() && d.at > at {
-                        if let Some(c) = self.cells.get(r).ctx {
-                            let e = sw_win.entry((c, d.to.0)).or_insert((at, d.at));
-                            e.0 = e.0.min(at);
-                            e.1 = e.1.max(d.at);
-                        }
-                    }
                     q.push(
                         d.at,
                         Event::CellArrival {
@@ -513,24 +574,8 @@ impl Testbed {
                         },
                     );
                 } else {
-                    // No peer or the switch dropped it: recycle the slot.
+                    // No peer: recycle the slot.
                     self.cells.free(r);
-                }
-            }
-            let mut wins: Vec<_> = sw_win.into_iter().collect();
-            wins.sort_unstable_by_key(|&((c, p), _)| (c, p));
-            for ((c, port), (from, to)) in wins {
-                let floor = self.switch_span_floor.entry((c, port)).or_default();
-                let from = from.max(*floor);
-                if to > from {
-                    self.timeline.span_ctx(
-                        &format!("fabric.switch.port{port}"),
-                        "switch.q",
-                        c,
-                        from,
-                        to,
-                    );
-                    *floor = to;
                 }
             }
         }
@@ -552,6 +597,51 @@ impl Testbed {
                 // receivers have seen everything, not when a source idles.
                 self.done = true;
             }
+        }
+    }
+
+    /// A cell reaches the switch input: run the stateful route (queueing,
+    /// port counters, overflow) and schedule the resulting arrival at the
+    /// destination, or recycle the slot if the cell has nowhere to go.
+    /// `switch.q` timeline spans are emitted per cell here, clamped by
+    /// the same `(ctx, destination)` floor the transmit-batch windows
+    /// used, so spans on one port track never run backwards.
+    fn fabric_transit(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        lane: usize,
+        r: CellRef,
+        q: &mut EventQueue<Event>,
+    ) {
+        if let Some(d) = self.fabric.route(from, now, lane, self.cells.get(r)) {
+            if self.timeline.is_enabled() && d.at > now {
+                if let Some(c) = self.cells.get(r).ctx {
+                    let floor = self.switch_span_floor.entry((c, d.to.0)).or_default();
+                    let span_from = now.max(*floor);
+                    if d.at > span_from {
+                        self.timeline.span_ctx(
+                            &format!("fabric.switch.port{}", d.to.0),
+                            "switch.q",
+                            c,
+                            span_from,
+                            d.at,
+                        );
+                        *floor = d.at;
+                    }
+                }
+            }
+            q.push(
+                d.at,
+                Event::CellArrival {
+                    to: d.to,
+                    lane: d.lane,
+                    cell: r,
+                },
+            );
+        } else {
+            // Unrouted or overflow-dropped: recycle the slot.
+            self.cells.free(r);
         }
     }
 
@@ -1051,6 +1141,9 @@ impl Model for Testbed {
                     if c.aal.eom { " EOM" } else { "" }
                 )
             }
+            Event::FabricTransit { from, to, lane, .. } => {
+                format!("fabric[{from}->{to}] transit lane={lane}")
+            }
             Event::RxFlush { host, gen } => format!("rx[{host}] flush gen={gen}"),
             Event::RxInterrupt { host } => format!("intr[{host}] asserted"),
             Event::RxDrain { host } => format!("drain[{host}] runs"),
@@ -1073,6 +1166,7 @@ impl Model for Testbed {
                     self.timeline
                         .instant_sym(s.nodes[to.0].board_rx, s.cell, now)
                 }
+                Event::FabricTransit { .. } => self.timeline.instant_sym(s.fabric, s.transit, now),
                 Event::RxFlush { host, .. } => {
                     self.timeline
                         .instant_sym(s.nodes[host.0].board_rx, s.flush, now)
@@ -1107,6 +1201,9 @@ impl Model for Testbed {
             }
             Event::TxKick { host } => self.tx_kick(now, host, q),
             Event::CellArrival { to, lane, cell } => self.cell_arrival(now, to, lane, cell, q),
+            Event::FabricTransit {
+                from, lane, cell, ..
+            } => self.fabric_transit(now, from, lane, cell, q),
             Event::RxFlush { host, gen } => {
                 let node = &mut self.nodes[host.0];
                 node.rx.flush_pending(

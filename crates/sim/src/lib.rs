@@ -26,6 +26,7 @@ pub mod event;
 pub mod faults;
 pub mod json;
 pub mod obs;
+pub mod pdes;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -33,12 +34,15 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventQueue, QueueKind};
-pub use faults::{CellFate, FaultInjector, FaultPlan, LaneOutage, PointFault, PointFaultKind};
+pub use faults::{
+    CellFate, FaultComponent, FaultInjector, FaultPlan, LaneOutage, PointFault, PointFaultKind,
+};
 pub use json::Json;
 pub use obs::{
     CriticalPath, HistSummary, PduPath, Probe, Registry, Snapshot, Stage, SymId, Timeline,
     TimelineEvent, TraceCtx,
 };
+pub use pdes::{PushKey, ShardQueue};
 pub use resource::FifoResource;
 pub use rng::SimRng;
 pub use time::{Clock, SimDuration, SimTime};
@@ -61,6 +65,12 @@ pub struct SimConfig {
     /// result — only how fast a run finishes. Defaults to the calendar
     /// queue.
     pub queue: QueueKind,
+    /// How many parallel shards the harness partitions the model into.
+    /// `1` (the default) is the exact single-threaded engine path;
+    /// `N ≥ 2` opts a scenario into the conservative-lookahead parallel
+    /// engine (see `osiris::shard`), which produces the same results —
+    /// the shard-equivalence suite holds it to byte-identical snapshots.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -72,6 +82,7 @@ impl Default for SimConfig {
             timeline_capacity: 1 << 16,
             faults: FaultPlan::default(),
             queue: QueueKind::default(),
+            shards: 1,
         }
     }
 }

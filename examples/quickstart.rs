@@ -16,6 +16,11 @@
 //! PDU's full causal span tree (send → fragmentation → DMA → lanes →
 //! reassembly → interrupt → delivery) plus its per-stage latency
 //! attribution, which sums exactly to the measured end-to-end latency.
+//!
+//! Pass `--shards N` to run a many-pairs workload on the sharded
+//! conservative-lookahead engine (N threads) and print its goodput
+//! line — which is byte-identical to the single-threaded line, the
+//! sharded engine's core guarantee.
 
 use osiris::board::dma::DmaMode;
 use osiris::config::{TestbedConfig, TouchMode};
@@ -71,6 +76,29 @@ fn print_pdu_trace() {
     }
 }
 
+/// Runs an 8-pair switched workload on the sharded engine and shows
+/// the partition-invariant goodput line next to the shard layout.
+fn run_sharded(shards: usize) {
+    let mut cfg = TestbedConfig::ds5000_200_udp();
+    cfg.msg_size = 8 * 1024;
+    cfg.messages = 4;
+    cfg.reassembly = osiris::atm::sar::ReassemblyMode::FourWay { lanes: 4 };
+    cfg.sim.shards = shards;
+    let out = osiris::Scenario::ManyPairs { pairs: 8 }.run(cfg);
+    assert!(out.done, "many-pairs must complete");
+    println!(
+        "8 source->sink pairs through the switch on {} shard(s): {}",
+        out.shards,
+        out.goodput_line()
+    );
+    for s in &out.per_shard {
+        println!(
+            "  shard {}: {} events scheduled, {} dispatched, slab high-water {}",
+            s.shard, s.events_scheduled, s.events_dispatched, s.slab_high_water
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(i) = args.iter().position(|a| a == "--trace-out") {
@@ -80,6 +108,15 @@ fn main() {
     }
     if args.iter().any(|a| a == "--pdu-trace") {
         print_pdu_trace();
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let shards: usize = args
+            .get(i + 1)
+            .expect("--shards needs a thread count")
+            .parse()
+            .expect("--shards takes an integer");
+        run_sharded(shards);
         return;
     }
     // ── Round-trip latency (Table 1 style) ─────────────────────────────

@@ -58,6 +58,27 @@ test -s target/bench/BENCH_engine.json
 cargo run --release -q -p osiris-bench --bin regress -- \
   crates/bench/baselines/BENCH_engine.json target/bench/BENCH_engine.json --threshold 50
 
+echo "==> sharded engine: byte-identity across shard counts (release)"
+# The parallel engine's whole contract: shards ∈ {1,2,4} produce
+# byte-identical semantic snapshots and goodput lines. Run in release —
+# the sweep covers five scenarios × multiple seeds × three shard counts.
+cargo test --release -q --test shard_equivalence
+
+echo "==> smoke: sharded engine --threads 2"
+# Exercises the multi-threaded path end to end (barriers, SPSC rings,
+# merge) and its internal byte-identity assertion against 1 thread.
+cargo run --release -q -p osiris-bench --bin scale -- --quick --threads 2
+
+echo "==> smoke: scaling bench gate (scale --quick)"
+# Wall-clock headlines like engine's, so the threshold is generous; the
+# gate catches the sharded engine becoming order-of-magnitude slower
+# (e.g. a lookahead bug collapsing every round to one event), not
+# host-load jitter. Byte-identity is asserted inside the bench itself.
+cargo run --release -q -p osiris-bench --bin scale -- --quick --bench-out target/bench/BENCH_scale.json
+test -s target/bench/BENCH_scale.json
+cargo run --release -q -p osiris-bench --bin regress -- \
+  crates/bench/baselines/BENCH_scale.json target/bench/BENCH_scale.json --threshold 50
+
 echo "==> smoke: bench harness compiles (criterion-free micro benches)"
 cargo build --release -p osiris-bench --benches
 
