@@ -19,7 +19,7 @@
 
 use std::collections::HashMap;
 
-use osiris_sim::obs::{Counter, Probe};
+use osiris_sim::obs::{Counter, Gauge, Probe};
 use osiris_sim::{FifoResource, SimDuration, SimTime};
 
 use crate::cell::{Cell, CELL_BYTES_ON_WIRE};
@@ -106,6 +106,17 @@ pub struct Switch {
     max_queue_cells: Option<u32>,
     unrouted: Counter,
     overflow_dropped: Counter,
+    /// Instantaneous backlog (in cell times) of the port a cell was just
+    /// queued on — a last-writer gauge the telemetry plane samples into
+    /// a queue-depth time series. Partition-*dependent* (which write is
+    /// last depends on shard interleaving), so the semantic snapshot
+    /// strips it; the high-water companion below is the invariant form.
+    queue_depth: Gauge,
+    /// Largest backlog any `depart` ever observed, in cells. Invariant
+    /// under the sharded engine's gauge-max merge, so it stays in the
+    /// semantic snapshot.
+    queue_high_water: Gauge,
+    hw_cells: u64,
 }
 
 impl Switch {
@@ -137,6 +148,9 @@ impl Switch {
             max_queue_cells: None,
             unrouted: p.counter("unrouted"),
             overflow_dropped: p.counter("overflow_dropped"),
+            queue_depth: p.gauge("queue_depth_cells"),
+            queue_high_water: p.gauge("queue_high_water_cells"),
+            hw_cells: 0,
             spec,
         }
     }
@@ -251,6 +265,18 @@ impl Switch {
             }
         }
         let grant = self.outputs[port].acquire(at, self.spec.cell_time());
+        // Backlog of this port the instant the cell joined it, in cell
+        // times (1 = the cell itself is in service with nothing ahead).
+        let depth = grant
+            .finish
+            .saturating_since(at)
+            .as_ps()
+            .div_ceil(self.spec.cell_time().as_ps().max(1));
+        self.queue_depth.set(depth as f64);
+        if depth > self.hw_cells {
+            self.hw_cells = depth;
+            self.queue_high_water.set(depth as f64);
+        }
         self.stats[port].cells.incr();
         self.stats[port]
             .queueing_ps

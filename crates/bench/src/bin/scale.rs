@@ -59,10 +59,19 @@ fn timed_run(cfg: &TestbedConfig, shards: usize) -> (RunOutcome, f64) {
 }
 
 /// Best-of-`passes` wall-clock at one thread count (least scheduler
-/// noise), with the determinism guard applied to every pass.
-fn measure(cfg: &TestbedConfig, shards: usize, passes: usize, reference: &str) -> (f64, f64, u64) {
+/// noise), with the determinism guard applied to every pass. The
+/// returned imbalance (busiest shard's dispatched events over the
+/// per-shard mean) is itself deterministic — dispatch counts are part
+/// of the bit-identical result — so it regresses exactly.
+fn measure(
+    cfg: &TestbedConfig,
+    shards: usize,
+    passes: usize,
+    reference: &str,
+) -> (f64, f64, u64, f64) {
     let mut best_secs = f64::INFINITY;
     let mut pdus = 0;
+    let mut imbalance = 1.0;
     for _ in 0..passes {
         let (out, secs) = timed_run(cfg, shards);
         assert_eq!(
@@ -71,11 +80,12 @@ fn measure(cfg: &TestbedConfig, shards: usize, passes: usize, reference: &str) -
             "sharded run at {shards} thread(s) diverged from the single-threaded result"
         );
         pdus = out.delivered;
+        imbalance = out.shard_imbalance();
         if secs < best_secs {
             best_secs = secs;
         }
     }
-    (pdus as f64 / best_secs, best_secs * 1e3, pdus)
+    (pdus as f64 / best_secs, best_secs * 1e3, pdus, imbalance)
 }
 
 fn main() {
@@ -95,12 +105,13 @@ fn main() {
             .expect("--threads needs a count")
             .parse()
             .expect("--threads takes an integer");
-        let (pps, ms, pdus) = measure(&cfg, shards, 1, &ref_line);
+        let (pps, ms, pdus, imbalance) = measure(&cfg, shards, 1, &ref_line);
         println!(
             "{} pairs on {shards} thread(s): {pdus} PDUs in {ms:.1} ms = {pps:.0} PDUs/s \
              (byte-identical to 1 thread)",
             PAIRS
         );
+        println!("  shard imbalance (max/mean dispatched): {imbalance:.3}");
         println!("  {ref_line}");
         return;
     }
@@ -109,18 +120,23 @@ fn main() {
     let mut pps = Vec::new();
     let mut wall = Vec::new();
     let mut pdus_total = 0;
+    let mut imbalance_4t = 1.0;
     for &t in &threads {
-        let (p, ms, pdus) = if t == 1 {
+        let (p, ms, pdus, imbalance) = if t == 1 {
             // Reuse the reference run as one pass, then take more.
-            let (more_p, more_ms, pdus) = measure(&cfg, 1, passes.saturating_sub(1), &ref_line);
+            let (more_p, more_ms, pdus, imb) =
+                measure(&cfg, 1, passes.saturating_sub(1), &ref_line);
             let one_p = pdus as f64 / ref_secs;
-            (one_p.max(more_p), (ref_secs * 1e3).min(more_ms), pdus)
+            (one_p.max(more_p), (ref_secs * 1e3).min(more_ms), pdus, imb)
         } else {
             measure(&cfg, t, passes, &ref_line)
         };
         pps.push(p);
         wall.push(ms);
         pdus_total = pdus;
+        if t == 4 {
+            imbalance_4t = imbalance;
+        }
     }
     let speedup = pps[2] / pps[0];
 
@@ -140,6 +156,9 @@ fn main() {
         snap.headline("pdus_per_sec_4t", pps[2], "PDUs/s", Better::Higher);
         snap.headline("scale_speedup_4t", speedup, "x", Better::Higher);
         snap.headline("wall_ms_1t", wall[0], "ms", Better::Lower);
+        // Deterministic: the busiest shard's share of the dispatch load
+        // at 4 threads (max/mean, 1.0 = perfectly balanced).
+        snap.headline("shard_imbalance_4t", imbalance_4t, "x", Better::Lower);
         snap.push_result(&r);
         std::fs::write(&path, snap.to_json()).expect("write bench snapshot");
         eprintln!("wrote {path}");
@@ -161,5 +180,6 @@ fn main() {
         );
     }
     println!("  4-thread speedup: {speedup:.2}x (bounded by physical cores)");
+    println!("  4-thread shard imbalance (max/mean dispatched): {imbalance_4t:.3}");
     println!("  every run byte-identical: {ref_line}");
 }

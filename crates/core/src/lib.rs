@@ -45,6 +45,7 @@ pub mod node;
 pub mod report;
 pub mod scenario;
 pub mod shard;
+pub mod telemetry;
 pub mod testbed;
 
 pub use config::{DataPath, Layer, TestbedConfig};
@@ -56,6 +57,7 @@ pub use fabric::{BackToBack, Delivery, Fabric, SwitchedFabric};
 pub use node::{HostNode, NodeId, Role};
 pub use scenario::Scenario;
 pub use shard::{RunOutcome, ShardStats};
+pub use telemetry::{run_sampled, Sampler};
 pub use testbed::Testbed;
 
 // Re-export the substrate crates so downstream users need one dependency.

@@ -3,7 +3,9 @@
 
 use std::fmt::Write as _;
 
-use osiris_sim::{HistSummary, Snapshot, Stage};
+use osiris_sim::{HistSummary, SeriesDump, Snapshot, Stage};
+
+use crate::shard::RunOutcome;
 
 /// Renders a table with a header row and aligned columns.
 pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
@@ -196,6 +198,96 @@ pub fn dropped_spans_warning(snap: &Snapshot) -> Option<String> {
              (raise timeline_capacity/trace_capacity)"
         )
     })
+}
+
+/// Renders a sampled-series dump as an aligned summary table: one row
+/// per series with its retained window count and the min/mean/max/last
+/// over all windows (including evicted ones — the aggregates are
+/// running, not ring-bound). Counter rows are per-window rates; gauge
+/// rows are instantaneous values.
+pub fn series_summary(title: &str, dump: &SeriesDump) -> String {
+    let f = |v: f64| {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.2}")
+        }
+    };
+    let rows: Vec<Vec<String>> = dump
+        .series
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.clone(),
+                s.kind.as_str().to_string(),
+                s.count.to_string(),
+                f(s.min),
+                f(s.mean()),
+                f(s.max),
+                f(s.last),
+            ]
+        })
+        .collect();
+    let mut out = table(
+        title,
+        &["series", "kind", "windows", "min", "mean", "max", "last"],
+        &rows,
+    );
+    let _ = writeln!(
+        out,
+        "  {} samples every {:.1} us{}",
+        dump.samples,
+        dump.every.as_us_f64(),
+        if dump.dropped > 0 {
+            format!(
+                " (WARN: {} windows evicted — raise series_capacity)",
+                dump.dropped
+            )
+        } else {
+            String::new()
+        }
+    );
+    out
+}
+
+/// Renders the sharded engine's self-profile: per-shard dispatch
+/// counts, barrier rounds, wall-clock stall, ring pressure, and the
+/// closing `max/mean` imbalance headline the scale bench publishes.
+pub fn shard_profile(title: &str, out: &RunOutcome) -> String {
+    let rows: Vec<Vec<String>> = out
+        .per_shard
+        .iter()
+        .map(|s| {
+            vec![
+                s.shard.to_string(),
+                s.events_dispatched.to_string(),
+                s.events_scheduled.to_string(),
+                s.rounds.to_string(),
+                format!("{:.2}", s.barrier_stall_ns as f64 / 1e6),
+                format!("{:.0}", s.ring_high_water),
+                s.spills.to_string(),
+            ]
+        })
+        .collect();
+    let mut text = table(
+        title,
+        &[
+            "shard",
+            "dispatched",
+            "scheduled",
+            "rounds",
+            "stall ms",
+            "ring hw",
+            "spills",
+        ],
+        &rows,
+    );
+    let _ = writeln!(
+        text,
+        "  shard imbalance (max/mean dispatched): {:.3}",
+        out.shard_imbalance()
+    );
+    text
 }
 
 /// Formats `paper` vs `measured` with the ratio, for EXPERIMENTS.md rows.

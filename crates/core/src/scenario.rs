@@ -15,7 +15,7 @@ use osiris_sim::{EventQueue, Registry, SimDuration, SimTime, Simulation, Timelin
 use crate::config::{Layer, TestbedConfig};
 use crate::fabric::{BackToBack, Fabric, SwitchedFabric};
 use crate::node::{Endpoint, HostNode, NodeId, Role};
-use crate::testbed::{Event, TbSyms, Testbed};
+use crate::testbed::{DispatchCounters, Event, TbSyms, Testbed};
 
 /// A topology + workload the testbed can assemble.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -272,6 +272,7 @@ impl Scenario {
         let mut cells = CellSlab::new();
         cells.attach_probe(&registry.probe("cells"));
         let syms = TbSyms::intern(&timeline, n);
+        let dispatch = DispatchCounters::new(&registry.probe("engine.dispatch"));
 
         let mut tb = Testbed {
             cfg,
@@ -299,6 +300,7 @@ impl Scenario {
             switch_span_floor: std::collections::HashMap::new(),
             reap_scheduled: vec![false; n],
             reap_idle: vec![0; n],
+            dispatch,
         };
 
         // Workload: roles, budgets, completion rule.

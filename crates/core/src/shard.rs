@@ -57,16 +57,18 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 use osiris_atm::{Cell, LinkSpec};
 use osiris_board::spsc::SpscRing;
-use osiris_sim::obs::Snapshot;
+use osiris_sim::obs::{Counter, Gauge, Snapshot};
 use osiris_sim::stats::{DurationHistogram, LatencyStats, ThroughputMeter};
-use osiris_sim::{EventQueue, Model, PushKey, ShardQueue, SimDuration, SimTime};
+use osiris_sim::{EventQueue, Model, PushKey, SeriesDump, ShardQueue, SimDuration, SimTime};
 
 use crate::config::TestbedConfig;
 use crate::node::NodeId;
 use crate::scenario::Scenario;
+use crate::telemetry::{run_sampled, Sampler};
 use crate::testbed::Event;
 
 /// The shard that owns node `node` under an `shards`-way partition.
@@ -161,10 +163,17 @@ impl Channel {
         }
     }
 
-    fn send(&self, msg: WireMsg) {
+    /// Sends `msg`, returning `true` if it spilled past the ring. Both
+    /// the return and the post-push [`SpscRing::len`] are deterministic
+    /// per round: consumers only drain after the round's second
+    /// barrier, so within the exec phase a channel fills monotonically
+    /// under its single producer.
+    fn send(&self, msg: WireMsg) -> bool {
         if let Err(m) = self.ring.push(msg) {
             self.spill.lock().expect("spill lock").push(m);
+            return true;
         }
+        false
     }
 }
 
@@ -179,6 +188,17 @@ pub struct ShardStats {
     pub events_dispatched: u64,
     /// Peak live cells in this shard's arena.
     pub slab_high_water: f64,
+    /// Barrier rounds this shard participated in (0 when sequential).
+    pub rounds: u64,
+    /// Wall-clock nanoseconds this shard spent waiting at round
+    /// barriers — the engine's own load-imbalance cost, and the one
+    /// deliberately non-virtual number in the outcome.
+    pub barrier_stall_ns: u64,
+    /// Cross-shard messages that overflowed an SPSC ring into the
+    /// mutex-guarded spill path.
+    pub spills: u64,
+    /// Peak occupancy of any outbound SPSC ring, in messages.
+    pub ring_high_water: f64,
 }
 
 /// The merged result of a scenario run, identical in shape whether it
@@ -214,17 +234,26 @@ pub struct RunOutcome {
     pub shards: usize,
     /// Per-shard breakdown (one entry when sequential).
     pub per_shard: Vec<ShardStats>,
+    /// Sampled time series when `cfg.sim.sample_every` was set (`None`
+    /// otherwise). Sharded runs return every shard's series prefixed
+    /// `shard<k>.`; the sequential engine's series keep plain names.
+    pub series: Option<SeriesDump>,
 }
 
 impl RunOutcome {
     /// The partition-invariant view of the snapshot: everything except
-    /// the cell-arena placement metrics (`cells.*` sequentially,
-    /// `shard<k>.cells.*` + the fabric-level `cells.slab_high_water`
-    /// gauge when sharded). Byte-compare its rendered JSON across
-    /// shard counts.
+    /// the metric families that legitimately depend on the partitioning
+    /// or the engine's mechanics — the cell-arena placement metrics
+    /// (`cells.*`), the engine self-profile (`profile.*`, wall-clock
+    /// and per-shard by nature), the telemetry plane's own bookkeeping
+    /// (`obs.*`, present only when sampling is on), the event-queue
+    /// internals (`engine.queue.*`, backend-dependent), the switch's
+    /// instantaneous depth gauge (last-writer), and the `shard<k>.`
+    /// re-scoped spellings of all of these. Byte-compare its rendered
+    /// JSON across shard counts, queue backends, and sampling on/off.
     pub fn semantic_snapshot(&self) -> Snapshot {
         fn keep(k: &str) -> bool {
-            !is_arena_key(k)
+            !is_partition_dependent_key(k)
         }
         Snapshot {
             counters: self
@@ -275,23 +304,65 @@ impl RunOutcome {
             sum("stack.gave_up"),
         )
     }
+
+    /// Load-imbalance headline: the busiest shard's dispatched-event
+    /// count over the per-shard mean (`1.0` = perfectly balanced, and
+    /// by construction for a sequential run). Deterministic — dispatch
+    /// counts are part of the bit-identical result.
+    pub fn shard_imbalance(&self) -> f64 {
+        let max = self
+            .per_shard
+            .iter()
+            .map(|s| s.events_dispatched)
+            .max()
+            .unwrap_or(0);
+        if self.per_shard.is_empty() || self.dispatched == 0 {
+            return 1.0;
+        }
+        let mean = self.dispatched as f64 / self.per_shard.len() as f64;
+        max as f64 / mean
+    }
 }
 
-/// `cells.*` (sequential spelling) or `shard<k>.cells.*` (merged
-/// spelling): arena-placement metrics that legitimately depend on the
-/// partitioning.
-fn is_arena_key(k: &str) -> bool {
-    if k.starts_with("cells.") {
+/// Key prefixes whose values legitimately differ across partitionings,
+/// queue backends, or sampling on/off — stripped from the semantic
+/// snapshot (in both plain and `shard<k>.`-re-scoped spellings):
+///
+/// * `cells.` — arena placement depends on which cells co-reside;
+/// * `profile.` — per-shard engine self-profiling, partly wall-clock;
+/// * `obs.` — the sampler's own bookkeeping, present only when on;
+/// * `engine.queue.` — calendar-queue internals, backend-dependent.
+const PARTITION_DEPENDENT_PREFIXES: &[&str] = &["cells.", "profile.", "obs.", "engine.queue."];
+
+/// True for keys the semantic snapshot must strip (see
+/// [`PARTITION_DEPENDENT_PREFIXES`]), plus the switch's instantaneous
+/// depth gauge, whose last writer depends on shard interleaving (its
+/// high-water companion is max-merged and stays).
+fn is_partition_dependent_key(k: &str) -> bool {
+    let dependent = |k: &str| {
+        PARTITION_DEPENDENT_PREFIXES
+            .iter()
+            .any(|p| k.starts_with(p))
+            || k == "fabric.switch.queue_depth_cells"
+    };
+    if dependent(k) {
         return true;
     }
     if let Some(rest) = k.strip_prefix("shard") {
         if let Some(dot) = rest.find('.') {
             return !rest[..dot].is_empty()
                 && rest[..dot].bytes().all(|b| b.is_ascii_digit())
-                && rest[dot + 1..].starts_with("cells.");
+                && dependent(&rest[dot + 1..]);
         }
     }
     false
+}
+
+/// True for keys the sharded merge re-scopes to `shard<k>.<key>`
+/// instead of merging: per-shard state where a sum or max across
+/// replicas would be meaningless.
+fn is_per_shard_key(k: &str) -> bool {
+    k.starts_with("cells.") || k.starts_with("profile.")
 }
 
 /// Runs `scenario` under `cfg.sim.shards` shards. `shards <= 1` is the
@@ -306,10 +377,25 @@ pub fn run_scenario(scenario: Scenario, cfg: TestbedConfig) -> RunOutcome {
     }
 }
 
-/// The historical engine, wrapped into a [`RunOutcome`].
+/// The historical engine, wrapped into a [`RunOutcome`]. When
+/// `cfg.sim.sample_every` is set, the run loop additionally samples the
+/// telemetry grid between dispatches — same dispatch order, same final
+/// time, registry untouched but for the sampler's own `obs.*` scope.
 fn run_sequential(scenario: Scenario, cfg: TestbedConfig) -> RunOutcome {
     let mut sim = scenario.launch(cfg);
-    sim.run_to_completion();
+    let sampler = sim.model.cfg.sim.sample_every.map(|every| {
+        Sampler::new(
+            &sim.model.registry,
+            &sim.model.registry.probe("obs"),
+            every,
+            sim.model.cfg.sim.series_capacity,
+        )
+    });
+    match &sampler {
+        Some(s) => run_sampled(&mut sim, s),
+        None => sim.run_to_completion(),
+    }
+    let series = sampler.map(|s| s.finish(sim.now()));
     let snapshot = sim.model.snapshot();
     let tb = &sim.model;
     RunOutcome {
@@ -328,8 +414,13 @@ fn run_sequential(scenario: Scenario, cfg: TestbedConfig) -> RunOutcome {
             events_scheduled: sim.queue.total_pushed(),
             events_dispatched: sim.steps(),
             slab_high_water: snapshot.gauge("cells.slab_high_water"),
+            rounds: 0,
+            barrier_stall_ns: 0,
+            spills: 0,
+            ring_high_water: 0.0,
         }],
         snapshot,
+        series,
     }
 }
 
@@ -357,6 +448,44 @@ struct ShardResult {
     scheduled: u64,
     dispatched: u64,
     last_event_time: SimTime,
+    /// This shard's sampled series (plain names; the merge prefixes
+    /// them `shard<k>.`), when sampling was on.
+    series: Option<SeriesDump>,
+}
+
+/// One shard's self-profiling instruments, registered under the
+/// replica registry's `profile.*` scope (re-scoped `shard<k>.profile.*`
+/// by the merge, stripped from the semantic snapshot — barrier stall
+/// is wall-clock, the rest is per-shard by nature).
+struct ShardProfile {
+    rounds: Counter,
+    barrier_stall_ns: Counter,
+    spills: Counter,
+    ring_high_water: Gauge,
+    gmin_ps: Gauge,
+    /// Shadow of `ring_high_water` (gauges have no read-modify max).
+    ring_hw: f64,
+}
+
+impl ShardProfile {
+    fn new(tb: &crate::testbed::Testbed) -> ShardProfile {
+        let pp = tb.registry.probe("profile");
+        ShardProfile {
+            rounds: pp.counter("rounds"),
+            barrier_stall_ns: pp.counter("barrier_stall_ns"),
+            spills: pp.counter("spills"),
+            ring_high_water: pp.gauge("ring_high_water"),
+            gmin_ps: pp.gauge("gmin_ps"),
+            ring_hw: 0.0,
+        }
+    }
+
+    fn note_ring_occupancy(&mut self, occ: u32) {
+        if occ as f64 > self.ring_hw {
+            self.ring_hw = occ as f64;
+            self.ring_high_water.set(self.ring_hw);
+        }
+    }
 }
 
 /// Spawns one thread per shard, runs the barrier-stepped rounds to
@@ -418,6 +547,17 @@ fn run_shard(
     let base = tb.snapshot();
     let mut q: ShardQueue<Event> = ShardQueue::new();
     q.attach_probe(&tb.registry.probe("engine"));
+    // Registered after `base` so the merge's baseline add-back never
+    // sees them; re-scoped per shard there instead.
+    let mut profile = ShardProfile::new(&tb);
+    let sampler = cfg.sim.sample_every.map(|every| {
+        Sampler::new(
+            &tb.registry,
+            &tb.registry.probe("obs"),
+            every,
+            cfg.sim.series_capacity,
+        )
+    });
     // Handlers stage into a plain queue; the shard loop re-keys and
     // routes each staged event. Reused across dispatches.
     let mut staging: EventQueue<Event> = EventQueue::new();
@@ -447,7 +587,11 @@ fn run_shard(
         // shard is inside the same round, so the slot values are
         // stable while read.
         slots[k].store(q.peek_time().map_or(u64::MAX, |t| t.0), Ordering::Release);
+        let stall = Instant::now();
         barrier.wait();
+        profile
+            .barrier_stall_ns
+            .add(stall.elapsed().as_nanos() as u64);
         let gmin = slots
             .iter()
             .map(|s| s.load(Ordering::Acquire))
@@ -457,6 +601,16 @@ fn run_shard(
             // Globally quiescent: all queues empty and (because every
             // round ends with a full channel drain) nothing in flight.
             break;
+        }
+        profile.rounds.incr();
+        profile.gmin_ps.set(gmin as f64);
+        if let Some(s) = &sampler {
+            // Every event strictly before gmin — on every shard — has
+            // already been dispatched (the previous round's horizon is
+            // a lower bound on every queue), so grid points below gmin
+            // read final state: the same values the sequential sampler
+            // reads between its dispatches.
+            s.sample_grid_before(SimTime(gmin));
         }
         let horizon = SimTime(gmin) + lookahead;
 
@@ -470,6 +624,9 @@ fn run_shard(
             debug_assert_eq!(shard_of(ev.owner(), shards), k, "event on wrong shard");
             now = t;
             dispatched += 1;
+            if let Some(s) = &sampler {
+                s.note_dispatch();
+            }
             let origin = ev.owner();
             tb.handle(t, ev, &mut staging);
             while let Some((at, staged)) = staging.pop() {
@@ -487,7 +644,12 @@ fn run_shard(
                         at >= horizon,
                         "shard {k}: cross-shard event at {at:?} violates horizon {horizon:?}"
                     );
-                    channels[k][dest].send(WireMsg::pack(at, key, staged, &mut tb.cells));
+                    let ch = &channels[k][dest];
+                    if ch.send(WireMsg::pack(at, key, staged, &mut tb.cells)) {
+                        profile.spills.incr();
+                    } else {
+                        profile.note_ring_occupancy(ch.ring.len());
+                    }
                 }
             }
         }
@@ -495,7 +657,11 @@ fn run_shard(
         // Rendezvous, then drain everything the other shards sent this
         // round. Sorting by (time, key) before insertion keeps the
         // arena's slot-assignment order deterministic too.
+        let stall = Instant::now();
         barrier.wait();
+        profile
+            .barrier_stall_ns
+            .add(stall.elapsed().as_nanos() as u64);
         for (s, row) in channels.iter().enumerate() {
             if s == k {
                 continue;
@@ -513,6 +679,7 @@ fn run_shard(
         }
     }
 
+    let series = sampler.map(|s| s.finish(now));
     ShardResult {
         base,
         snapshot: tb.snapshot(),
@@ -526,14 +693,17 @@ fn run_shard(
         scheduled: q.total_pushed(),
         dispatched,
         last_event_time: now,
+        series,
     }
 }
 
 /// Merges per-shard results into one [`RunOutcome`]. Counters sum
 /// (each is driven by exactly one shard; replicas leave foreign scopes
-/// at zero), gauges max, and the arena's `cells.*` entries — the one
-/// partition-dependent family — are re-scoped per shard with a
-/// fabric-level high-water maximum kept under the original name.
+/// at zero), gauges max, and the per-shard families — the arena's
+/// `cells.*` and the engine self-profile's `profile.*` — are re-scoped
+/// `shard<k>.*`, with a fabric-level `cells.slab_high_water` maximum
+/// kept under the original name. Per-shard series dumps are prefixed
+/// `shard<k>.` and absorbed into one [`SeriesDump`].
 fn merge(shards: usize, results: Vec<ShardResult>) -> RunOutcome {
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
     let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
@@ -548,10 +718,11 @@ fn merge(shards: usize, results: Vec<ShardResult>) -> RunOutcome {
     let mut dispatched = 0;
     let mut last_event_time = SimTime::ZERO;
     let mut per_shard = Vec::with_capacity(results.len());
+    let mut series: Option<SeriesDump> = None;
 
     for (k, r) in results.iter().enumerate() {
         for (key, v) in &r.snapshot.counters {
-            if key.starts_with("cells.") {
+            if is_per_shard_key(key) {
                 counters.insert(format!("shard{k}.{key}"), *v);
             } else {
                 // Sum what this shard *did*, not what its replica
@@ -562,7 +733,7 @@ fn merge(shards: usize, results: Vec<ShardResult>) -> RunOutcome {
             }
         }
         for (key, g) in &r.snapshot.gauges {
-            if key.starts_with("cells.") {
+            if is_per_shard_key(key) {
                 gauges.insert(format!("shard{k}.{key}"), *g);
                 if key != "cells.slab_high_water" {
                     continue;
@@ -605,7 +776,18 @@ fn merge(shards: usize, results: Vec<ShardResult>) -> RunOutcome {
             events_scheduled: r.scheduled,
             events_dispatched: r.dispatched,
             slab_high_water: r.snapshot.gauge("cells.slab_high_water"),
+            rounds: r.snapshot.counter("profile.rounds"),
+            barrier_stall_ns: r.snapshot.counter("profile.barrier_stall_ns"),
+            spills: r.snapshot.counter("profile.spills"),
+            ring_high_water: r.snapshot.gauge("profile.ring_high_water"),
         });
+        if let Some(d) = r.series.clone() {
+            let prefixed = d.prefixed(&format!("shard{k}"));
+            match &mut series {
+                None => series = Some(prefixed),
+                Some(s) => s.absorb(prefixed),
+            }
+        }
     }
     // Sink-terminated scenarios complete when the fleet as a whole has
     // delivered everything; a single shard only ever sees its own
@@ -619,7 +801,7 @@ fn merge(shards: usize, results: Vec<ShardResult>) -> RunOutcome {
     // once so e.g. provisioning-time bus words are counted as the
     // sequential engine counts them.
     for (key, v) in &results[0].base.counters {
-        if !key.starts_with("cells.") {
+        if !is_per_shard_key(key) {
             *counters.entry(key.clone()).or_insert(0) += *v;
         }
     }
@@ -646,5 +828,6 @@ fn merge(shards: usize, results: Vec<ShardResult>) -> RunOutcome {
         last_event_time,
         shards,
         per_shard,
+        series,
     }
 }

@@ -36,7 +36,7 @@ use osiris_atm::sar::{ReassemblyMode, SegmentUnit, Segmenter};
 use osiris_atm::stripe::StripedLink;
 use osiris_atm::{CellRef, CellSlab};
 use osiris_host::driver::{interrupt_to_thread, DeliveredPdu, SendOutcome};
-use osiris_sim::obs::Snapshot;
+use osiris_sim::obs::{Counter, Probe, Snapshot};
 use osiris_sim::stats::{DurationHistogram, LatencyStats, ThroughputMeter};
 use osiris_sim::{
     EventQueue, Model, Registry, SimDuration, SimTime, SymId, Timeline, Trace, TraceCtx,
@@ -223,6 +223,66 @@ impl TbSyms {
     }
 }
 
+/// Per-event-type dispatch counters, registered under
+/// `engine.dispatch.<event>`. Every event is dispatched exactly once —
+/// on the one shard owning its node under the parallel engine, or on
+/// the single sequential queue — so these counters are
+/// partition-invariant: the merged sharded values equal the sequential
+/// ones, and the equivalence suite byte-compares them. They are the
+/// engine's own workload mix made registry-visible (and sampleable as
+/// rates by the telemetry plane).
+#[derive(Debug, Clone)]
+pub struct DispatchCounters {
+    app_send: Counter,
+    tx_kick: Counter,
+    cell_arrival: Counter,
+    rx_flush: Counter,
+    rx_interrupt: Counter,
+    rx_drain: Counter,
+    tx_wake: Counter,
+    fabric_transit: Counter,
+    gen_kick: Counter,
+    rx_reap_tick: Counter,
+    retrans_tick: Counter,
+}
+
+impl DispatchCounters {
+    /// Registers all eleven counters under `probe` (the builder passes
+    /// `registry.probe("engine.dispatch")`).
+    pub fn new(probe: &Probe) -> DispatchCounters {
+        DispatchCounters {
+            app_send: probe.counter("app_send"),
+            tx_kick: probe.counter("tx_kick"),
+            cell_arrival: probe.counter("cell_arrival"),
+            rx_flush: probe.counter("rx_flush"),
+            rx_interrupt: probe.counter("rx_interrupt"),
+            rx_drain: probe.counter("rx_drain"),
+            tx_wake: probe.counter("tx_wake"),
+            fabric_transit: probe.counter("fabric_transit"),
+            gen_kick: probe.counter("gen_kick"),
+            rx_reap_tick: probe.counter("rx_reap_tick"),
+            retrans_tick: probe.counter("retrans_tick"),
+        }
+    }
+
+    /// The counter for `ev`'s variant.
+    fn of(&self, ev: &Event) -> &Counter {
+        match ev {
+            Event::AppSend { .. } => &self.app_send,
+            Event::TxKick { .. } => &self.tx_kick,
+            Event::CellArrival { .. } => &self.cell_arrival,
+            Event::RxFlush { .. } => &self.rx_flush,
+            Event::RxInterrupt { .. } => &self.rx_interrupt,
+            Event::RxDrain { .. } => &self.rx_drain,
+            Event::TxWake { .. } => &self.tx_wake,
+            Event::FabricTransit { .. } => &self.fabric_transit,
+            Event::GenKick => &self.gen_kick,
+            Event::RxReapTick { .. } => &self.rx_reap_tick,
+            Event::RetransTick { .. } => &self.retrans_tick,
+        }
+    }
+}
+
 /// The assembled testbed (implements [`Model`]).
 #[derive(Debug)]
 pub struct Testbed {
@@ -291,6 +351,9 @@ pub struct Testbed {
     /// Consecutive sweeps per node that neither reclaimed a PDU nor
     /// pushed a descriptor — the re-arm cap's progress signal.
     pub(crate) reap_idle: Vec<u32>,
+    /// Per-event-type dispatch counts (`engine.dispatch.*`), bumped once
+    /// per handled event — the workload mix the telemetry plane samples.
+    pub(crate) dispatch: DispatchCounters,
 }
 
 impl Testbed {
@@ -1192,6 +1255,7 @@ impl Model for Testbed {
                 }
             }
         }
+        self.dispatch.of(&ev).incr();
         match ev {
             Event::AppSend { host } => {
                 if self.nodes[host.0].role == Role::PingClient {

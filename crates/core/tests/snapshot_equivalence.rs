@@ -16,7 +16,11 @@ use osiris::Scenario;
 
 /// Runs the quick receive bench to completion under `kind` and returns
 /// the rendered registry snapshot plus the raw snapshot for counter
-/// checks.
+/// checks. The `engine.queue.*` internals keys (calendar resizes and
+/// bucket high water) are the backends' *own* mechanics — the calendar
+/// reports real values, the heap registers zeros for key parity — so
+/// they are stripped before the byte comparison: everything else must
+/// match exactly.
 fn run(kind: QueueKind) -> (String, osiris::sim::Snapshot) {
     let mut cfg = TestbedConfig::ds5000_200_udp();
     cfg.msg_size = 16 * 1024;
@@ -31,7 +35,14 @@ fn run(kind: QueueKind) -> (String, osiris::sim::Snapshot) {
         "payload verify under {kind:?}"
     );
     let snap = sim.model.snapshot();
-    (snap.to_json().render_pretty(), snap)
+    let mut semantic = snap.clone();
+    semantic
+        .counters
+        .retain(|k, _| !k.starts_with("engine.queue."));
+    semantic
+        .gauges
+        .retain(|k, _| !k.starts_with("engine.queue."));
+    (semantic.to_json().render_pretty(), snap)
 }
 
 #[test]

@@ -29,7 +29,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::obs::{Counter, Probe};
+use crate::obs::{Counter, Gauge, Probe};
 use crate::time::SimTime;
 
 struct Entry<E> {
@@ -102,6 +102,14 @@ struct Calendar<E> {
     /// Absolute day (`time / width`) the pop scan starts from.
     cursor_day: u64,
     len: usize,
+    /// Lifetime grow+shrink rebuilds (mirrored to `queue.resizes`).
+    resizes_total: u64,
+    /// Most entries any bucket ever held after a push (mirrored to
+    /// `queue.bucket_high_water`) — the calendar's load-balance health:
+    /// a high value means the width no longer matches event density.
+    bucket_hw: usize,
+    resizes: Counter,
+    high_water: Gauge,
 }
 
 impl<E> Calendar<E> {
@@ -111,6 +119,10 @@ impl<E> Calendar<E> {
             width_ps: INITIAL_WIDTH_PS,
             cursor_day: 0,
             len: 0,
+            resizes_total: 0,
+            bucket_hw: 0,
+            resizes: Counter::detached(),
+            high_water: Gauge::default(),
         }
     }
 
@@ -129,6 +141,11 @@ impl<E> Calendar<E> {
         let b = (day % self.buckets.len() as u64) as usize;
         self.buckets[b].push(e);
         self.len += 1;
+        let occ = self.buckets[b].len();
+        if occ > self.bucket_hw {
+            self.bucket_hw = occ;
+            self.high_water.set(occ as f64);
+        }
         if self.len > 2 * self.buckets.len() {
             self.resize(self.buckets.len() * 2);
         }
@@ -199,6 +216,8 @@ impl<E> Calendar<E> {
     /// spread of pending times, so one year keeps covering the working
     /// set as the simulation's event density drifts.
     fn resize(&mut self, n: usize) {
+        self.resizes_total += 1;
+        self.resizes.incr();
         let entries: Vec<Entry<E>> = self.buckets.iter_mut().flat_map(std::mem::take).collect();
         if !entries.is_empty() {
             let mut lo = u64::MAX;
@@ -276,9 +295,27 @@ impl<E> EventQueue<E> {
     /// Publishes the lifetime push count as `<scope>.events.scheduled` in
     /// `probe`'s registry. Pushes made before attaching are carried over,
     /// so the counter always equals [`EventQueue::total_pushed`].
+    ///
+    /// Queue internals ride along under `<scope>.queue.*`: calendar
+    /// rebuilds (`resizes`) and the bucket-occupancy high water
+    /// (`bucket_high_water`). Both keys are registered for **every**
+    /// backend so the snapshot key set is identical across
+    /// [`QueueKind`]s — the heap has no buckets and legitimately
+    /// reports zero. The values are backend diagnostics, not semantics:
+    /// equivalence comparisons strip `<scope>.queue.*` before
+    /// byte-comparing.
     pub fn attach_probe(&mut self, probe: &Probe) {
         self.scheduled = probe.scoped("events").counter("scheduled");
         self.scheduled.add(self.pushed);
+        let qp = probe.scoped("queue");
+        let resizes = qp.counter("resizes");
+        let high_water = qp.gauge("bucket_high_water");
+        if let Backend::Calendar(c) = &mut self.backend {
+            resizes.add(c.resizes_total);
+            high_water.set(c.bucket_hw as f64);
+            c.resizes = resizes;
+            c.high_water = high_water;
+        }
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -437,6 +474,52 @@ mod tests {
                 q.total_pushed()
             );
         }
+    }
+
+    #[test]
+    fn queue_internals_are_probed_on_both_backends() {
+        use crate::obs::Registry;
+        for kind in BOTH {
+            let reg = Registry::new();
+            let mut q = EventQueue::with_kind(kind);
+            q.attach_probe(&reg.probe("engine"));
+            // Drive far past the grow threshold so the calendar resizes
+            // and fills buckets.
+            for i in 0..200u64 {
+                q.push(SimTime::from_us(i % 7), i);
+            }
+            let snap = reg.snapshot();
+            // The key set is identical across backends (satellite:
+            // snapshot equivalence across QueueKinds)…
+            assert!(snap.counters.contains_key("engine.queue.resizes"));
+            assert!(snap.gauges.contains_key("engine.queue.bucket_high_water"));
+            match kind {
+                // …the heap legitimately reports zero…
+                QueueKind::Heap => {
+                    assert_eq!(snap.counter("engine.queue.resizes"), 0);
+                    assert_eq!(snap.gauge("engine.queue.bucket_high_water"), 0.0);
+                }
+                // …and the calendar reports real internals.
+                QueueKind::Calendar => {
+                    assert!(snap.counter("engine.queue.resizes") > 0);
+                    assert!(snap.gauge("engine.queue.bucket_high_water") >= 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calendar_internals_carry_over_at_attach() {
+        use crate::obs::Registry;
+        let reg = Registry::new();
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        for i in 0..200u64 {
+            q.push(SimTime::from_us(i % 7), i);
+        }
+        q.attach_probe(&reg.probe("engine"));
+        let snap = reg.snapshot();
+        assert!(snap.counter("engine.queue.resizes") > 0);
+        assert!(snap.gauge("engine.queue.bucket_high_water") >= 1.0);
     }
 
     #[test]

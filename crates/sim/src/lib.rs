@@ -38,6 +38,7 @@ pub use faults::{
     CellFate, FaultComponent, FaultInjector, FaultPlan, LaneOutage, PointFault, PointFaultKind,
 };
 pub use json::Json;
+pub use obs::series::{SeriesData, SeriesDump, SeriesKind, SeriesSet};
 pub use obs::{
     CriticalPath, HistSummary, PduPath, Probe, Registry, Snapshot, Stage, SymId, Timeline,
     TimelineEvent, TraceCtx,
@@ -71,6 +72,13 @@ pub struct SimConfig {
     /// engine (see `osiris::shard`), which produces the same results —
     /// the shard-equivalence suite holds it to byte-identical snapshots.
     pub shards: usize,
+    /// Period of the deterministic telemetry sampler
+    /// ([`obs::series::SeriesSet`]) in simulated time; `None` (the
+    /// default) disables sampling. Sampling is passive — it can never
+    /// change a result, which the telemetry equivalence tests pin.
+    pub sample_every: Option<SimDuration>,
+    /// Ring capacity (windows per series) of each sampled time series.
+    pub series_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -83,6 +91,8 @@ impl Default for SimConfig {
             faults: FaultPlan::default(),
             queue: QueueKind::default(),
             shards: 1,
+            sample_every: None,
+            series_capacity: 4096,
         }
     }
 }

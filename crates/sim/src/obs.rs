@@ -44,6 +44,8 @@ use std::rc::Rc;
 use crate::json::Json;
 use crate::time::{SimDuration, SimTime};
 
+pub mod series;
+
 /// A monotonically increasing event count.
 ///
 /// Cloning shares the underlying cell: the component keeps one clone for
@@ -299,6 +301,31 @@ impl Registry {
             .entry(path.to_string())
             .or_default()
             .clone()
+    }
+
+    /// The counter at exactly `path` if it is already registered.
+    /// Unlike [`Registry::counter`] this never creates the key — the
+    /// read-only form the sampling plane uses, so turning sampling on
+    /// can never change a snapshot's key set.
+    pub fn find_counter(&self, path: &str) -> Option<Counter> {
+        self.0.borrow().counters.get(path).cloned()
+    }
+
+    /// The gauge at exactly `path` if already registered (never creates).
+    pub fn find_gauge(&self, path: &str) -> Option<Gauge> {
+        self.0.borrow().gauges.get(path).cloned()
+    }
+
+    /// Registered counter paths starting with `prefix`, in path order —
+    /// how the sampler enumerates e.g. every `engine.dispatch.*` key.
+    pub fn counter_paths_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.0
+            .borrow()
+            .counters
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
     }
 
     /// The histogram at exactly `path`, registering it if absent.
@@ -872,6 +899,13 @@ impl Timeline {
     /// per track, timestamps in microseconds of simulated time. Events
     /// with a [`TraceCtx`] carry it under `args.ctx` so a PDU can be
     /// followed across tracks in the viewer.
+    ///
+    /// A timeline that evicted events (ring capacity hit mid-run) is a
+    /// *partial* export: the document then leads with a global
+    /// `"partial export"` instant carrying the eviction count under
+    /// `args.dropped`, so downstream consumers can tell a truncated
+    /// trace from a complete one instead of silently missing the oldest
+    /// spans.
     pub fn to_chrome_json(&self) -> Json {
         let inner = self.inner.borrow();
         // Tracks in first-appearance order, as interned ids; names are
@@ -910,6 +944,24 @@ impl Timeline {
                     .with("pid", 0i64)
                     .with("tid", tid as i64)
                     .with("args", Json::obj().with("name", inner.syms.resolve(*track))),
+            );
+        }
+        let dropped = inner.dropped.get();
+        if dropped > 0 {
+            let first_ts = inner
+                .events
+                .front()
+                .map(|e| e.at.as_us_f64())
+                .unwrap_or(0.0);
+            events.push(
+                Json::obj()
+                    .with("name", "partial export")
+                    .with("cat", "sim")
+                    .with("ph", "i")
+                    .with("ts", first_ts)
+                    .with("pid", 0i64)
+                    .with("s", "g")
+                    .with("args", Json::obj().with("dropped", dropped)),
             );
         }
         Json::obj()

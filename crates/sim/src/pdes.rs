@@ -124,10 +124,16 @@ impl<E> ShardQueue<E> {
     /// in `probe`'s registry, carrying over pushes made before
     /// attaching — the same contract as `EventQueue::attach_probe`, so
     /// a shard's registry scope is indistinguishable from the
-    /// sequential engine's.
+    /// sequential engine's. That contract includes the `<scope>.queue.*`
+    /// internals keys (`resizes`, `bucket_high_water`): a shard queue
+    /// is a plain heap, so they are registered at zero purely for key-
+    /// set parity with the calendar backend.
     pub fn attach_probe(&mut self, probe: &Probe) {
         self.scheduled = probe.scoped("events").counter("scheduled");
         self.scheduled.add(self.pushed);
+        let qp = probe.scoped("queue");
+        qp.counter("resizes");
+        qp.gauge("bucket_high_water");
     }
 
     /// Schedules `event` at `at` under tie-break key `key`.

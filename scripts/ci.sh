@@ -28,6 +28,39 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 cargo run --release -q --example quickstart -- --trace-out "$tmp/trace.json"
 test -s "$tmp/trace.json"
+# A dropped-span export leads with a "partial export" instant; the
+# report footer only WARNs, so the gate turns it into a hard failure.
+if grep -q '"partial export"' "$tmp/trace.json"; then
+  echo "FAIL: trace export was partial (timeline ring dropped spans)" >&2
+  exit 1
+fi
+
+echo "==> smoke: telemetry plane (sampled incast, series + counter trace)"
+# The sequential path writes a series document (archived with the bench
+# snapshots) and a Chrome trace with the sampled counter tracks merged
+# into the span timeline; the sharded path writes shard-prefixed series.
+mkdir -p target/bench
+cargo run --release -q --example quickstart -- --sample-every 100us --senders 64 \
+  --series-out target/bench/BENCH_series.json --trace-out "$tmp/telemetry.json"
+test -s target/bench/BENCH_series.json
+grep -q '"ph": "C"' "$tmp/telemetry.json"
+if grep -q '"partial export"' "$tmp/telemetry.json"; then
+  echo "FAIL: telemetry trace export was partial (timeline ring dropped spans)" >&2
+  exit 1
+fi
+# Ring evictions would silently truncate the series' early windows;
+# obs.samples_dropped makes that visible and the gate makes it fatal.
+if ! grep -q '"samples_dropped": 0' target/bench/BENCH_series.json; then
+  echo "FAIL: telemetry series rings evicted samples (obs.samples_dropped != 0)" >&2
+  exit 1
+fi
+cargo run --release -q --example quickstart -- --sample-every 100us --senders 64 \
+  --shards 2 --series-out "$tmp/series_sharded.jsonl"
+grep -q '"name":"shard1.events_dispatched"' "$tmp/series_sharded.jsonl"
+if ! grep -q '"samples_dropped":0' "$tmp/series_sharded.jsonl"; then
+  echo "FAIL: sharded telemetry series rings evicted samples" >&2
+  exit 1
+fi
 
 echo "==> smoke: bench snapshot + regression gate (fig2 --quick)"
 # The simulator is deterministic, so the quick sweep reproduces the
